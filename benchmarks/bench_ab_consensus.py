@@ -1,0 +1,72 @@
+"""E11 -- Theorem 11: AB-Consensus under authenticated Byzantine
+faults.
+
+``O(t)`` rounds, ``O(t² + n)`` messages from non-faulty nodes; linear
+communication holds exactly while ``t = O(√n)`` (Table 1's crossover).
+"""
+
+import math
+
+import pytest
+
+from repro import run_ab_consensus
+from repro.bench.workloads import byzantine_sample, input_vector
+
+from conftest import measure
+
+
+def _assert_byz_spec(result, n, byzantine):
+    honest = set(range(n)) - set(byzantine)
+    decisions = result.correct_decisions()
+    assert set(decisions) == honest
+    assert len(set(decisions.values())) == 1
+
+
+@pytest.mark.parametrize("t", [5, 10, 20, 40])
+def test_byzantine_t_sweep(benchmark, t):
+    n = 400  # √n = 20: rows below/at/above the linear-comm crossover
+    inputs = input_vector(n, "random", 1)
+    byz = byzantine_sample(n, t, 1)
+    result = measure(
+        benchmark,
+        lambda: run_ab_consensus(inputs, t, byzantine=byz, behaviour="equivocate"),
+        check=lambda r: _assert_byz_spec(r, n, byz),
+        n=n,
+        t=t,
+        t_squared_over_n=round(t * t / n, 2),
+    )
+    assert result.rounds <= 4 * t + 4 * math.log2(n) + 20
+    # The committee constant is ~3·(5)² = 75 combined DS messages per
+    # t² unit (Part 1 runs over 5t little nodes).
+    assert result.messages <= 100 * (t * t + n)
+
+
+@pytest.mark.parametrize("behaviour", ["silent", "equivocate", "spam"])
+def test_byzantine_behaviours(benchmark, behaviour):
+    n, t = 200, 10
+    inputs = input_vector(n, "random", 2)
+    byz = byzantine_sample(n, t, 2)
+    result = measure(
+        benchmark,
+        lambda: run_ab_consensus(inputs, t, byzantine=byz, behaviour=behaviour),
+        check=lambda r: _assert_byz_spec(r, n, byz),
+        behaviour=behaviour,
+    )
+    # Byzantine senders never inflate the headline count.
+    assert set(result.metrics.per_node_messages).isdisjoint(byz)
+
+
+def test_linear_communication_crossover(benchmark):
+    # msgs/n stays ~constant while t ≤ √n and grows ~t²/n beyond it.
+    n = 400
+    small = run_ab_consensus(
+        input_vector(n, "random", 3), 10, byzantine=byzantine_sample(n, 10, 3)
+    )
+    large = measure(
+        benchmark,
+        lambda: run_ab_consensus(
+            input_vector(n, "random", 3), 40, byzantine=byzantine_sample(n, 40, 3)
+        ),
+        small_t_msgs_per_n=round(small.messages / n, 2),
+    )
+    assert large.messages / n > 2 * (small.messages / n)

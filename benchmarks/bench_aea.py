@@ -1,0 +1,42 @@
+"""E5 -- Theorem 5: Almost-Everywhere-Agreement.
+
+``O(t)`` rounds, one-bit messages, at least 3/5 of the nodes decide or
+crash.
+"""
+
+import pytest
+
+from repro import check_aea, run_aea
+from repro.bench.workloads import input_vector
+from repro.core.params import ProtocolParams
+
+from conftest import measure
+
+
+@pytest.mark.parametrize("n", [120, 240, 480])
+def test_aea_scaling(benchmark, n):
+    t = n // 6
+    inputs = input_vector(n, "random", 1)
+    result = measure(
+        benchmark,
+        lambda: run_aea(inputs, t, crashes="random", seed=1),
+        check=lambda r: check_aea(r, inputs),
+        n=n,
+        t=t,
+    )
+    params = ProtocolParams(n=n, t=t)
+    schedule = params.little_flood_rounds + params.little_probe_rounds + 2
+    assert result.rounds <= schedule
+    assert result.bits == result.messages  # one-bit messages
+
+
+@pytest.mark.parametrize("kind", ["early", "late", "staggered"])
+def test_aea_adversary_kinds(benchmark, kind):
+    n, t = 240, 40
+    inputs = input_vector(n, "random", 2)
+    measure(
+        benchmark,
+        lambda: run_aea(inputs, t, crashes=kind, seed=2),
+        check=lambda r: check_aea(r, inputs),
+        kind=kind,
+    )

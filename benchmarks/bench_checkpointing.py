@@ -1,0 +1,59 @@
+"""E10 -- Theorem 10: Checkpointing.
+
+``O(t + log n log t)`` rounds, ``O(n + t log n log t)`` messages; the
+combined consensus instances beat the quadratic baseline by a widening
+factor (the paper's improvement over Galil–Mayer–Yung by a polynomial
+factor).
+"""
+
+import pytest
+
+from repro import check_checkpointing, run_checkpointing
+from repro.baselines import NaiveCheckpointingProcess
+from repro.core.params import ProtocolParams
+from repro.sim import Engine, crash_schedule
+
+from conftest import measure
+
+
+@pytest.mark.parametrize("n", [100, 200, 400])
+def test_checkpointing_scaling(benchmark, n):
+    t = n // 10
+    result = measure(
+        benchmark,
+        lambda: run_checkpointing(n, t, crashes="random", seed=1),
+        check=check_checkpointing,
+        n=n,
+        t=t,
+    )
+    params = ProtocolParams(n=n, t=t)
+    gossip_rounds = 2 * params.gossip_phase_count * (2 + params.little_probe_rounds)
+    consensus_rounds = (
+        params.little_flood_rounds
+        + params.little_probe_rounds
+        + params.scv_spread_rounds
+        + 2 * params.scv_phase_count
+        + 8
+    )
+    assert result.rounds <= gossip_rounds + consensus_rounds
+
+
+@pytest.mark.parametrize("n", [100, 200, 400])
+def test_checkpointing_vs_naive_baseline(benchmark, n):
+    t = n // 10
+    baseline_procs = [NaiveCheckpointingProcess(i, n, t) for i in range(n)]
+    baseline = Engine(
+        baseline_procs, crash_schedule(n, t, seed=1, max_round=t + 2)
+    ).run()
+    check_checkpointing(baseline)
+    result = measure(
+        benchmark,
+        lambda: run_checkpointing(n, t, crashes="random", seed=1),
+        check=check_checkpointing,
+        baseline_messages=baseline.messages,
+    )
+    ratio = baseline.messages / result.messages
+    benchmark.extra_info["msg_ratio_naive_over_paper"] = round(ratio, 2)
+    # The gap must widen with n (polynomial-factor improvement).
+    if n >= 200:
+        assert ratio > 1.5

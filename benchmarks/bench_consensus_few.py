@@ -1,0 +1,57 @@
+"""E7 -- Theorem 7: Few-Crashes-Consensus.
+
+``O(t + log n)`` rounds and ``O(n + t log t)`` one-bit messages for
+``t < n/5``.
+"""
+
+import math
+
+import pytest
+
+from repro import check_consensus, run_consensus
+from repro.bench.workloads import input_vector
+
+from conftest import measure
+
+
+@pytest.mark.parametrize("n", [120, 240, 480])
+def test_consensus_scaling(benchmark, n):
+    t = n // 6
+    inputs = input_vector(n, "random", 1)
+    result = measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="few", seed=1),
+        check=lambda r: check_consensus(r, inputs),
+        n=n,
+        t=t,
+    )
+    assert result.rounds <= 8 * t + 30 * math.log2(n)
+    assert result.bits == result.messages
+
+
+@pytest.mark.parametrize("kind", ["zeros", "ones", "minority_one"])
+def test_consensus_input_kinds(benchmark, kind):
+    n, t = 240, 40
+    inputs = input_vector(n, kind, 3)
+    measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="few", seed=3),
+        check=lambda r: check_consensus(r, inputs),
+        inputs=kind,
+    )
+
+
+def test_consensus_crash_free_floor(benchmark):
+    # The failure-free run is the message floor; crashes may only add
+    # the O(log t)-per-crash term (Theorem 7's efficiency discussion).
+    n, t = 240, 40
+    inputs = input_vector(n, "random", 4)
+    free = run_consensus(inputs, t, algorithm="few", crashes=None)
+    check_consensus(free, inputs)
+    crashed = measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="few", crashes="random", seed=4),
+        check=lambda r: check_consensus(r, inputs),
+        crash_free_messages=free.messages,
+    )
+    assert crashed.messages <= free.messages + 60 * t * math.log2(max(2, t))

@@ -1,0 +1,62 @@
+"""E8 -- Theorem 8 / Corollary 1: Many-Crashes-Consensus.
+
+Any ``0 < t < n``; at most ``n + 3(1 + lg n)`` rounds (plus the
+one-round recovery check, see DESIGN.md).
+"""
+
+import math
+
+import pytest
+
+from repro import check_consensus, run_consensus
+from repro.bench.workloads import input_vector
+
+from conftest import measure
+
+
+@pytest.mark.parametrize("alpha_pct", [30, 60, 90])
+def test_mcc_alpha_sweep(benchmark, alpha_pct):
+    n = 96
+    t = max(1, n * alpha_pct // 100)
+    inputs = input_vector(n, "random", 1)
+    result = measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="many", seed=1),
+        check=lambda r: check_consensus(r, inputs),
+        n=n,
+        t=t,
+        alpha=alpha_pct / 100,
+    )
+    bound = n + 3 * (1 + math.ceil(math.log2(n)))
+    assert result.rounds <= bound + 6
+    assert result.bits == result.messages
+
+
+@pytest.mark.parametrize("n", [64, 128])
+def test_mcc_n_scaling_at_half(benchmark, n):
+    t = n // 2
+    inputs = input_vector(n, "random", 2)
+    result = measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="many", seed=2),
+        check=lambda r: check_consensus(r, inputs),
+        n=n,
+        t=t,
+    )
+    # Corollary 1 envelope (practical overlays are far below it).
+    assert result.messages <= (5 / (1 - t / n)) ** 8 * n * math.log2(n)
+
+
+def test_mcc_extreme_corollary1(benchmark):
+    # t = n - 1: the Corollary 1 regime.
+    n = 48
+    t = n - 1
+    inputs = input_vector(n, "random", 3)
+    result = measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="many", seed=3),
+        check=lambda r: check_consensus(r, inputs),
+        n=n,
+        t=t,
+    )
+    assert result.completed

@@ -1,0 +1,62 @@
+"""BASE+ -- early-stopping time adaptivity vs the paper's fixed
+schedules.
+
+Dolev–Reischuk–Strong-style early stopping decides in ``O(f + 1)``
+rounds when only ``f ≤ t`` crashes occur, at ``Θ(n²)`` messages per
+round; the paper's algorithms run their fixed ``O(t)`` schedule but pay
+linear communication.  This is the trade-off behind Table 1 (and
+Dolev–Lenzen's Ω(n²) bound shows it is inherent).
+"""
+
+import pytest
+
+from repro import check_consensus, run_consensus
+from repro.baselines import EarlyStoppingConsensusProcess
+from repro.bench.workloads import input_vector
+from repro.sim import Engine, crash_schedule
+
+from conftest import measure
+
+
+@pytest.mark.parametrize("f", [0, 4, 16])
+def test_early_stopping_rounds_track_f(benchmark, f):
+    n, t = 240, 40
+    inputs = input_vector(n, "random", 1)
+    adversary = crash_schedule(n, f, seed=1, kind="staggered", max_round=max(1, f))
+
+    def run():
+        processes = [
+            EarlyStoppingConsensusProcess(i, n, t, inputs[i]) for i in range(n)
+        ]
+        return Engine(processes, adversary).run()
+
+    result = measure(
+        benchmark, run, check=lambda r: check_consensus(r, inputs), f=f, t=t
+    )
+    assert result.rounds <= f + 5  # O(f + 1), far below t + 1 = 41
+
+
+def test_tradeoff_vs_paper_consensus(benchmark):
+    # Same workload: early stopping wins rounds, the paper wins messages.
+    n, t, f = 240, 40, 8
+    inputs = input_vector(n, "random", 2)
+    adversary = crash_schedule(n, f, seed=2, kind="staggered", max_round=f)
+    processes = [
+        EarlyStoppingConsensusProcess(i, n, t, inputs[i]) for i in range(n)
+    ]
+    early = Engine(processes, adversary).run()
+    check_consensus(early, inputs)
+    paper = measure(
+        benchmark,
+        lambda: run_consensus(
+            inputs,
+            t,
+            algorithm="few",
+            crashes=crash_schedule(n, f, seed=2, kind="staggered", max_round=f),
+        ),
+        check=lambda r: check_consensus(r, inputs),
+        early_rounds=early.rounds,
+        early_messages=early.messages,
+    )
+    assert early.rounds < paper.rounds  # time adaptivity
+    assert paper.messages < early.messages / 3  # communication economy

@@ -1,0 +1,46 @@
+"""E9 -- Theorem 9: Gossip.
+
+``O(log n · log t)`` rounds with ``O(n + t log n log t)`` linear-size
+messages, ``t < n/5``.
+"""
+
+import math
+
+import pytest
+
+from repro import check_gossip, run_gossip
+from repro.bench.workloads import rumor_vector
+from repro.core.params import ProtocolParams
+
+from conftest import measure
+
+
+@pytest.mark.parametrize("n", [120, 240, 480])
+def test_gossip_scaling(benchmark, n):
+    t = n // 10
+    rumors = rumor_vector(n, 1)
+    result = measure(
+        benchmark,
+        lambda: run_gossip(rumors, t, crashes="random", seed=1),
+        check=lambda r: check_gossip(r, rumors),
+        n=n,
+        t=t,
+    )
+    params = ProtocolParams(n=n, t=t)
+    schedule = 2 * params.gossip_phase_count * (2 + params.little_probe_rounds)
+    assert result.rounds <= schedule
+    # Rounds are polylogarithmic: far below the t of linear-time
+    # algorithms once n grows.
+    assert result.rounds <= 8 * math.log2(n) * math.log2(max(2, t))
+
+
+@pytest.mark.parametrize("kind", ["early", "late"])
+def test_gossip_adversary_kinds(benchmark, kind):
+    n, t = 240, 24
+    rumors = rumor_vector(n, 2)
+    measure(
+        benchmark,
+        lambda: run_gossip(rumors, t, crashes=kind, seed=2),
+        check=lambda r: check_gossip(r, rumors),
+        kind=kind,
+    )

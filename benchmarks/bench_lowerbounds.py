@@ -1,0 +1,70 @@
+"""E13 -- Theorem 13: Ω(t + log n) in the single-port model.
+
+Executable constructions: the gossip isolation adversary spends its
+budget to keep a victim ignorant for Ω(t) rounds, and the pivotal-
+configuration divergence tracker certifies |A_i| ≤ 3^i (hence Ω(log n)
+rounds to decide).
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.ring_gossip import RingGossipProcess
+from repro.core.params import ProtocolParams
+from repro.lowerbounds import divergence_series, isolation_report
+from repro.singleport.linear_consensus import (
+    LinearConsensusProcess,
+    linear_consensus_schedule,
+)
+
+
+@pytest.mark.parametrize("t", [8, 16, 24])
+def test_gossip_isolation_omega_t(benchmark, t):
+    n = 60
+
+    def factory(rumors):
+        return [RingGossipProcess(i, n, rumors[i]) for i in range(n)]
+
+    rumors_a = ["x"] * n
+    rumors_b = ["x"] * n
+    rumors_b[7] = "y"
+    report = benchmark.pedantic(
+        lambda: isolation_report(factory, rumors_a, rumors_b, t, victim=0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "t": t,
+            "isolated_rounds": report.isolated_rounds,
+            "crashes_used": report.crashes_used,
+        }
+    )
+    assert report.digests_matched
+    assert report.isolated_rounds >= t // 2 - 1
+
+
+def test_consensus_divergence_omega_log_n(benchmark):
+    n = 40
+    params = ProtocolParams(n=n, t=3, seed=3)
+    schedule, shared = linear_consensus_schedule(params)
+
+    def factory(inputs):
+        return [
+            LinearConsensusProcess(pid, params, inputs[pid], schedule=schedule, shared=shared)
+            for pid in range(n)
+        ]
+
+    report = benchmark.pedantic(
+        lambda: divergence_series(factory, n), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "pivot": report.pivot,
+            "first_decision_round": report.first_decision_round,
+            "log3_n": round(math.log(n, 3), 2),
+        }
+    )
+    assert report.respects_cubic_bound()
+    assert report.first_decision_round >= math.log(n, 3)

@@ -1,0 +1,55 @@
+"""E6 -- Theorem 6: Spread-Common-Value.
+
+``O(log t)`` rounds and ``O(t log t)`` messages beyond the ``O(n)``
+flooding part; the two Part 2 branches cross over at ``t² = n``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import check_scv, run_scv
+from repro.core.params import ProtocolParams
+
+from conftest import measure
+
+
+def holders(n, seed=1):
+    return set(random.Random(seed).sample(range(n), int(0.62 * n)))
+
+
+@pytest.mark.parametrize("t", [10, 40, 79])
+def test_scv_t_sweep(benchmark, t):
+    n = 400
+    result = measure(
+        benchmark,
+        lambda: run_scv(n, t, holders(n), 1, crashes="random", seed=1),
+        check=lambda r: check_scv(r, 1),
+        n=n,
+        t=t,
+        branch="direct" if ProtocolParams(n=n, t=t).scv_direct_inquiry else "doubling",
+    )
+    params = ProtocolParams(n=n, t=t)
+    assert result.rounds <= params.scv_spread_rounds + 2 * params.scv_phase_count + 3
+    # Rounds are logarithmic in t, not linear.
+    assert result.rounds <= 12 * math.log2(max(2, t)) + 20
+
+
+def test_scv_branch_crossover(benchmark):
+    # The direct branch (t² ≤ n) must not be more expensive than the
+    # doubling branch right at the crossover.
+    n = 400
+    direct = run_scv(n, 19, holders(n), 1, crashes="random", seed=1)
+    doubling = run_scv(n, 21, holders(n), 1, crashes="random", seed=1)
+    check_scv(direct, 1)
+    check_scv(doubling, 1)
+    result = measure(
+        benchmark,
+        lambda: run_scv(n, 20, holders(n), 1, crashes="random", seed=1),
+        check=lambda r: check_scv(r, 1),
+        direct_messages=direct.messages,
+        doubling_messages=doubling.messages,
+    )
+    assert direct.rounds <= doubling.rounds
+    assert result.messages <= 2 * max(direct.messages, doubling.messages)

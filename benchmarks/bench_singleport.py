@@ -1,0 +1,66 @@
+"""E12 -- Theorem 12: single-port Linear-Consensus.
+
+``O(t + log n)`` single-port rounds with ``O(n + t log n)`` bits.
+"""
+
+import math
+
+import pytest
+
+from repro import check_consensus
+from repro.bench.workloads import input_vector
+from repro.core.params import ProtocolParams
+from repro.singleport.linear_consensus import (
+    LinearConsensusProcess,
+    linear_consensus_schedule,
+)
+from repro.sim import SinglePortEngine, crash_schedule
+
+from conftest import measure
+
+
+def run_linear(n, t, inputs, seed=1):
+    params = ProtocolParams(n=n, t=t, seed=3)
+    schedule, shared = linear_consensus_schedule(params)
+    processes = [
+        LinearConsensusProcess(pid, params, inputs[pid], schedule=schedule, shared=shared)
+        for pid in range(n)
+    ]
+    adversary = crash_schedule(n, t, seed=seed, max_round=schedule.end)
+    return SinglePortEngine(processes, adversary).run()
+
+
+@pytest.mark.parametrize("n", [60, 120, 240])
+def test_singleport_scaling(benchmark, n):
+    t = n // 8
+    inputs = input_vector(n, "random", 1)
+    result = measure(
+        benchmark,
+        lambda: run_linear(n, t, inputs),
+        check=lambda r: check_consensus(r, inputs),
+        n=n,
+        t=t,
+    )
+    # O(t + log n) with the 2d window constant (d = 32 here).
+    assert result.rounds <= 80 * (5 * t + math.log2(n)) + 400
+
+
+def test_singleport_vs_multiport_overhead(benchmark):
+    # Section 8: the adaptation preserves message/bit totals while
+    # stretching rounds by the 2d window factor.
+    from repro import run_consensus
+
+    n, t = 120, 15
+    inputs = input_vector(n, "random", 2)
+    multi = run_consensus(inputs, t, algorithm="few", seed=2)
+    check_consensus(multi, inputs)
+    single = measure(
+        benchmark,
+        lambda: run_linear(n, t, inputs, seed=2),
+        check=lambda r: check_consensus(r, inputs),
+        multiport_rounds=multi.rounds,
+        multiport_bits=multi.bits,
+    )
+    assert single.bits <= 4 * multi.bits
+    assert single.rounds >= multi.rounds  # strictly more rounds...
+    assert single.rounds <= 150 * multi.rounds  # ...but only by a constant factor

@@ -1,0 +1,82 @@
+"""T1 -- Table 1 regeneration.
+
+For each row of the paper's Table 1, pin ``t`` at the row's optimality
+boundary and check that time stays ``O(t + log n)`` and communication
+stays within a constant of the parameterised linear bound while ``n``
+doubles.  ``python -m repro.bench.runner table1`` prints the full table.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    check_checkpointing,
+    check_consensus,
+    check_gossip,
+    run_ab_consensus,
+    run_checkpointing,
+    run_consensus,
+    run_gossip,
+)
+from repro.bench.workloads import byzantine_sample, input_vector, rumor_vector, table1_fault_bound
+
+from conftest import measure
+
+NS = [128, 256]
+
+
+@pytest.mark.parametrize("n", NS)
+def test_row_crash_consensus(benchmark, n):
+    t = table1_fault_bound("consensus", n)
+    inputs = input_vector(n, "random", 1)
+    result = measure(
+        benchmark,
+        lambda: run_consensus(inputs, t, algorithm="auto", seed=1),
+        check=lambda r: check_consensus(r, inputs),
+        n=n,
+        t=t,
+    )
+    assert result.rounds <= 6 * (t + math.log2(n))
+
+
+@pytest.mark.parametrize("n", NS)
+def test_row_crash_gossip(benchmark, n):
+    t = table1_fault_bound("gossip", n)
+    rumors = rumor_vector(n, 1)
+    result = measure(
+        benchmark,
+        lambda: run_gossip(rumors, t, crashes="random", seed=1),
+        check=lambda r: check_gossip(r, rumors),
+        n=n,
+        t=t,
+    )
+    assert result.rounds <= 30 * (t + math.log2(n))
+
+
+@pytest.mark.parametrize("n", NS)
+def test_row_crash_checkpointing(benchmark, n):
+    t = table1_fault_bound("checkpointing", n)
+    result = measure(
+        benchmark,
+        lambda: run_checkpointing(n, t, crashes="random", seed=1),
+        check=check_checkpointing,
+        n=n,
+        t=t,
+    )
+    assert result.rounds <= 40 * (t + math.log2(n))
+
+
+@pytest.mark.parametrize("n", NS)
+def test_row_byzantine_consensus(benchmark, n):
+    t = table1_fault_bound("byzantine", n)  # Θ(√n): the linear range
+    inputs = input_vector(n, "random", 1)
+    byz = byzantine_sample(n, t, 1)
+    result = measure(
+        benchmark,
+        lambda: run_ab_consensus(inputs, t, byzantine=byz, behaviour="equivocate"),
+        n=n,
+        t=t,
+    )
+    assert result.rounds <= 6 * (t + math.log2(n))
+    assert result.messages <= 40 * (t * t + n)

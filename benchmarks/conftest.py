@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs a full protocol execution once per measurement
+(``pedantic`` with one round): executions take from milliseconds to a
+few seconds, so statistical repetition adds nothing but wall-clock.
+The paper's own metrics (rounds / messages / bits) are attached to
+``benchmark.extra_info`` so they appear in the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+
+def measure(benchmark, fn, check=None, **extra):
+    """Run ``fn`` once under the benchmark timer, validate, and attach
+    the simulation metrics."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    if check is not None:
+        check(result)
+    benchmark.extra_info.update(
+        {
+            "sim_rounds": result.rounds,
+            "messages": result.messages,
+            "bits": result.bits,
+            **extra,
+        }
+    )
+    return result

@@ -1,0 +1,65 @@
+"""repro -- executable reproduction of *Deterministic Fault-Tolerant
+Distributed Computing in Linear Time and Communication* (Chlebus,
+Kowalski, Olkowski; PODC 2023, arXiv:2305.11644).
+
+Quickstart::
+
+    from repro import run_consensus, check_consensus
+
+    inputs = [0, 1] * 50                       # 100 nodes, mixed inputs
+    result = run_consensus(inputs, t=15)        # t < n/5 crashes
+    check_consensus(result, inputs)             # validity/agreement/termination
+    print(result.rounds, result.messages, result.bits)
+
+Layers:
+
+* :mod:`repro.sim` -- the synchronous message-passing simulator
+  (multi-port and single-port engines, crash/Byzantine adversaries);
+* :mod:`repro.graphs` -- (near-)Ramanujan overlays and their
+  combinatorics (expansion, compactness, survival subsets);
+* :mod:`repro.auth` -- simulated unforgeable signatures;
+* :mod:`repro.core` -- the paper's algorithms (Figs. 1-7);
+* :mod:`repro.singleport` -- the Section 8 single-port adaptation;
+* :mod:`repro.lowerbounds` -- the Theorem 13 adversary constructions;
+* :mod:`repro.baselines` -- classical comparators;
+* :mod:`repro.bench` -- the experiment harness behind EXPERIMENTS.md.
+"""
+
+from repro.api import (
+    run_aea,
+    run_ab_consensus,
+    run_checkpointing,
+    run_consensus,
+    run_gossip,
+    run_scv,
+)
+from repro.core.params import ProtocolParams
+from repro.properties import (
+    PropertyViolation,
+    check_aea,
+    check_checkpointing,
+    check_consensus,
+    check_gossip,
+    check_scv,
+)
+from repro.sim.engine import RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtocolParams",
+    "PropertyViolation",
+    "RunResult",
+    "__version__",
+    "check_aea",
+    "check_checkpointing",
+    "check_consensus",
+    "check_gossip",
+    "check_scv",
+    "run_aea",
+    "run_ab_consensus",
+    "run_checkpointing",
+    "run_consensus",
+    "run_gossip",
+    "run_scv",
+]

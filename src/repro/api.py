@@ -1,0 +1,258 @@
+"""High-level one-call entry points.
+
+Each ``run_*`` helper builds the parameter derivation, the deterministic
+overlay graphs, the processes and the adversary, executes the protocol
+on the synchronous engine, and returns the
+:class:`~repro.sim.engine.RunResult` (whose ``metrics`` carry the
+paper's round/message/bit measures).  Correctness checking is left to
+the caller -- :mod:`repro.properties` has one predicate per problem --
+so benchmarks can time pure executions.
+
+>>> from repro import run_consensus
+>>> result = run_consensus([0, 1] * 50, t=15, crashes="random", seed=1)
+>>> set(result.correct_decisions().values())
+{1}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.auth.signatures import SignatureService
+from repro.core.aea import AEAProcess, aea_overlay
+from repro.core.byzantine import (
+    ABConsensusProcess,
+    EquivocatingSource,
+    SilentByzantine,
+    SpammingByzantine,
+)
+from repro.core.checkpointing import CheckpointingProcess
+from repro.core.consensus import (
+    FewCrashesConsensusProcess,
+    ManyCrashesConsensusProcess,
+    mcc_overlay,
+)
+from repro.core.gossip import GossipProcess, gossip_overlay
+from repro.core.params import ProtocolParams
+from repro.core.scv import SCVProcess
+from repro.graphs.families import spread_graph
+from repro.sim.adversary import CrashAdversary, NoFailures, crash_schedule
+from repro.sim.engine import Engine, RunResult
+
+__all__ = [
+    "run_aea",
+    "run_ab_consensus",
+    "run_checkpointing",
+    "run_consensus",
+    "run_gossip",
+    "run_scv",
+]
+
+#: Byzantine behaviour constructors selectable by name.
+BYZANTINE_BEHAVIOURS: dict[str, Callable] = {
+    "silent": lambda pid, n, params, service: SilentByzantine(pid, n),
+    "equivocate": EquivocatingSource,
+    "spam": SpammingByzantine,
+}
+
+
+def _adversary(
+    crashes: Optional[str | CrashAdversary],
+    n: int,
+    t: int,
+    seed: int,
+    horizon: int,
+    victims: Optional[Sequence[int]] = None,
+) -> CrashAdversary:
+    if crashes is None:
+        return NoFailures()
+    if isinstance(crashes, CrashAdversary):
+        return crashes
+    return crash_schedule(
+        n,
+        t,
+        seed=seed,
+        kind=crashes,
+        max_round=max(1, horizon),
+        victims=victims,
+    )
+
+
+def run_consensus(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    algorithm: str = "auto",
+    crashes: Optional[str | CrashAdversary] = "random",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 200_000,
+    fast_forward: bool = True,
+) -> RunResult:
+    """Binary consensus with crashes (Figs. 3-4, Theorems 7-8).
+
+    ``algorithm``: ``"few"`` (requires ``t < n/5``), ``"many"`` (any
+    ``t < n``), or ``"auto"`` (``"few"`` when ``t < n/5``).
+    ``crashes``: an adversary instance, a schedule kind for
+    :func:`~repro.sim.adversary.crash_schedule`, or ``None``.
+    """
+    n = len(inputs)
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    if algorithm == "auto":
+        algorithm = "few" if 5 * t < n else "many"
+    if algorithm == "few":
+        if 5 * t >= n:
+            raise ValueError(f"Few-Crashes-Consensus requires t < n/5, got t={t}, n={n}")
+        graph = aea_overlay(params)
+        spread = spread_graph(n, params.seed)
+        processes = [
+            FewCrashesConsensusProcess(
+                pid, params, inputs[pid], aea_graph=graph, spread=spread
+            )
+            for pid in range(n)
+        ]
+        horizon = params.little_flood_rounds + params.little_probe_rounds
+    elif algorithm == "many":
+        graph = mcc_overlay(params)
+        processes = [
+            ManyCrashesConsensusProcess(pid, params, inputs[pid], graph=graph)
+            for pid in range(n)
+        ]
+        horizon = params.mcc_flood_rounds + params.mcc_probe_rounds
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    adversary = _adversary(crashes, n, t, seed, horizon)
+    engine = Engine(
+        processes, adversary, max_rounds=max_rounds, fast_forward=fast_forward
+    )
+    return engine.run()
+
+
+def run_aea(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    crashes: Optional[str | CrashAdversary] = "random",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 100_000,
+) -> RunResult:
+    """Almost-Everywhere-Agreement alone (Fig. 1, Theorem 5)."""
+    n = len(inputs)
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    graph = aea_overlay(params)
+    processes = [AEAProcess(pid, params, inputs[pid], graph) for pid in range(n)]
+    horizon = params.little_flood_rounds + params.little_probe_rounds
+    adversary = _adversary(crashes, n, t, seed, horizon)
+    return Engine(processes, adversary, max_rounds=max_rounds).run()
+
+
+def run_scv(
+    n: int,
+    t: int,
+    holders: Sequence[int],
+    common_value: Any = 1,
+    *,
+    crashes: Optional[str | CrashAdversary] = "random",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 100_000,
+) -> RunResult:
+    """Spread-Common-Value alone (Fig. 2, Theorem 6).
+
+    ``holders`` are the nodes initialised with ``common_value``; the
+    problem requires at least ``3n/5`` of them.
+    """
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    holder_set = set(holders)
+    spread = spread_graph(n, params.seed)
+    processes = [
+        SCVProcess(pid, params, common_value if pid in holder_set else None, spread)
+        for pid in range(n)
+    ]
+    horizon = params.scv_spread_rounds
+    adversary = _adversary(crashes, n, t, seed, horizon)
+    return Engine(processes, adversary, max_rounds=max_rounds).run()
+
+
+def run_gossip(
+    rumors: Sequence[Any],
+    t: int,
+    *,
+    crashes: Optional[str | CrashAdversary] = "random",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 100_000,
+) -> RunResult:
+    """Gossiping with crashes (Fig. 5, Theorem 9), ``t < n/5``."""
+    n = len(rumors)
+    if 5 * t >= n:
+        raise ValueError(f"Gossip requires t < n/5, got t={t}, n={n}")
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    graph = gossip_overlay(params)
+    processes = [GossipProcess(pid, params, rumors[pid], graph=graph) for pid in range(n)]
+    horizon = params.gossip_phase_count * (2 + params.little_probe_rounds)
+    adversary = _adversary(crashes, n, t, seed, horizon)
+    return Engine(processes, adversary, max_rounds=max_rounds).run()
+
+
+def run_checkpointing(
+    n: int,
+    t: int,
+    *,
+    crashes: Optional[str | CrashAdversary] = "random",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 200_000,
+) -> RunResult:
+    """Checkpointing with crashes (Fig. 6, Theorem 10), ``t < n/5``."""
+    if 5 * t >= n:
+        raise ValueError(f"Checkpointing requires t < n/5, got t={t}, n={n}")
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    graph = gossip_overlay(params)
+    spread = spread_graph(n, params.seed)
+    processes = [
+        CheckpointingProcess(pid, params, graph=graph, spread=spread)
+        for pid in range(n)
+    ]
+    horizon = params.gossip_phase_count * (2 + params.little_probe_rounds)
+    adversary = _adversary(crashes, n, t, seed, horizon)
+    return Engine(processes, adversary, max_rounds=max_rounds).run()
+
+
+def run_ab_consensus(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    byzantine: Optional[Sequence[int]] = None,
+    behaviour: str = "equivocate",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 100_000,
+) -> RunResult:
+    """Consensus under authenticated Byzantine faults (Fig. 7, Thm. 11).
+
+    ``byzantine`` lists the faulty nodes (at most ``t``); ``behaviour``
+    selects their strategy from ``BYZANTINE_BEHAVIOURS`` (``"silent"``,
+    ``"equivocate"``, ``"spam"``).
+    """
+    n = len(inputs)
+    if 2 * t >= n:
+        raise ValueError(f"AB-Consensus requires t < n/2, got t={t}, n={n}")
+    byz = frozenset(byzantine if byzantine is not None else [])
+    if len(byz) > t:
+        raise ValueError(f"{len(byz)} Byzantine nodes exceed the bound t={t}")
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    service = SignatureService(n)
+    spread = spread_graph(n, params.seed)
+    make_byz = BYZANTINE_BEHAVIOURS[behaviour]
+    processes = []
+    for pid in range(n):
+        if pid in byz:
+            processes.append(make_byz(pid, n, params, service))
+        else:
+            processes.append(
+                ABConsensusProcess(pid, params, inputs[pid], service, spread=spread)
+            )
+    engine = Engine(processes, NoFailures(), byzantine=byz, max_rounds=max_rounds)
+    return engine.run()

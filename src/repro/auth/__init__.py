@@ -1,0 +1,5 @@
+"""Authentication substrate: simulated unforgeable signatures."""
+
+from repro.auth.signatures import Signature, SignatureService, SigningKey
+
+__all__ = ["Signature", "SignatureService", "SigningKey"]

@@ -1,0 +1,119 @@
+"""Simulated unforgeable signatures (the authenticated Byzantine model).
+
+Section 7 assumes authentication: "a node faulty in the authenticated
+Byzantine sense may undergo arbitrary state transitions but it cannot
+forge messages claiming that they are forwarded from other nodes".
+
+No cryptography is required to *simulate* this model; unforgeability is
+enforced structurally:
+
+* a :class:`SignatureService` (one per execution) mints per-node
+  :class:`SigningKey` capabilities and keeps a private registry of every
+  signature it has issued;
+* ``SigningKey.sign(message)`` produces a :class:`Signature` token and
+  registers it; a key can only sign for its own pid;
+* :meth:`SignatureService.verify` accepts a signature only if it was
+  registered, i.e. only if the claimed signer's capability actually
+  produced it.
+
+A Byzantine process holds only its own :class:`SigningKey`, so any
+"forged" :class:`Signature` it fabricates by instantiating the
+dataclass directly fails verification -- exactly the paper's model.
+Messages are hashable canonical forms (tuples, ints, strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable
+
+__all__ = ["Signature", "SignatureService", "SigningKey"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An issued signature: ``signer`` vouches for ``message``.
+
+    ``nonce`` is the issuing counter; it makes every signature object
+    unique and lets the service reject fabricated instances.
+    """
+
+    signer: int
+    message: Hashable
+    nonce: int
+
+    def bits_size(self) -> int:
+        """Signatures are charged a constant size (e.g. 256-bit MAC)."""
+        return 256
+
+
+class SigningKey:
+    """The signing capability of one node.
+
+    Only the :class:`SignatureService` can construct these (processes
+    receive them pre-made); a key signs solely under its own pid.
+    """
+
+    def __init__(self, service: "SignatureService", pid: int):
+        self._service = service
+        self.pid = pid
+
+    def sign(self, message: Hashable) -> Signature:
+        """Sign ``message`` as this key's pid."""
+        return self._service._issue(self.pid, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SigningKey pid={self.pid}>"
+
+
+class SignatureService:
+    """Mints keys and verifies signatures for one execution."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self._counter = 0
+        self._issued: set[tuple[int, Hashable, int]] = set()
+        self._keys = [SigningKey(self, pid) for pid in range(n)]
+
+    def key_for(self, pid: int) -> SigningKey:
+        """The signing capability of ``pid``."""
+        return self._keys[pid]
+
+    def _issue(self, pid: int, message: Hashable) -> Signature:
+        self._counter += 1
+        signature = Signature(signer=pid, message=message, nonce=self._counter)
+        self._issued.add((pid, message, signature.nonce))
+        return signature
+
+    def verify(self, signature: Any, message: Hashable, claimed_signer: int) -> bool:
+        """Whether ``signature`` is a valid signature on ``message`` by
+        ``claimed_signer``.
+
+        Fabricated :class:`Signature` instances (never issued by a key)
+        are rejected, which is what makes forgery impossible.
+        """
+        if not isinstance(signature, Signature):
+            return False
+        if signature.signer != claimed_signer or signature.message != message:
+            return False
+        return (signature.signer, signature.message, signature.nonce) in self._issued
+
+    def count_valid(
+        self, signatures: Iterable[Any], message: Hashable, allowed_signers: Iterable[int]
+    ) -> int:
+        """Number of *distinct* allowed signers with a valid signature on
+        ``message`` among ``signatures``.
+
+        This is the certificate check used by AB-Consensus ("each such
+        value has at least ``4t`` valid signatures of little nodes").
+        """
+        allowed = set(allowed_signers)
+        seen: set[int] = set()
+        for signature in signatures:
+            if not isinstance(signature, Signature):
+                continue
+            if signature.signer in seen or signature.signer not in allowed:
+                continue
+            if self.verify(signature, message, signature.signer):
+                seen.add(signature.signer)
+        return len(seen)

@@ -1,0 +1,19 @@
+"""Classical comparator algorithms (the "previous work" column of the
+experiments): time-optimal but message-heavy solutions that the paper's
+algorithms beat on communication."""
+
+from repro.baselines.ds_everywhere import DSEverywhereProcess
+from repro.baselines.early_stopping import EarlyStoppingConsensusProcess
+from repro.baselines.flooding_consensus import FloodingConsensusProcess
+from repro.baselines.naive_checkpointing import NaiveCheckpointingProcess
+from repro.baselines.naive_gossip import NaiveGossipProcess
+from repro.baselines.ring_gossip import RingGossipProcess
+
+__all__ = [
+    "DSEverywhereProcess",
+    "EarlyStoppingConsensusProcess",
+    "FloodingConsensusProcess",
+    "NaiveCheckpointingProcess",
+    "NaiveGossipProcess",
+    "RingGossipProcess",
+]

@@ -1,0 +1,55 @@
+"""Baseline: Dolev–Strong run by *all* nodes (no little committee).
+
+``n`` parallel authenticated-broadcast instances over the full node set
+with combined messages; every node decides the maximum resolved value.
+This is Fig. 7 without the committee trick: optimal ``O(t)`` rounds but
+``Θ(n²)`` messages, the comparator that shows what AB-Consensus's
+little-node structure buys (``O(t² + n)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.auth.signatures import SignatureService
+from repro.core.dolev_strong import ParallelDolevStrong
+from repro.core.params import ProtocolParams
+from repro.sim.process import Process
+
+__all__ = ["DSEverywhereProcess"]
+
+
+class DSEverywhereProcess(Process):
+    """Full-committee parallel Dolev–Strong consensus."""
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        input_value: int,
+        service: SignatureService,
+    ):
+        super().__init__(pid, params.n)
+        self.ds = ParallelDolevStrong(
+            pid,
+            params,
+            input_value,
+            0,
+            service,
+            service.key_for(pid),
+            committee=params.n,
+        )
+
+    def send(self, rnd: int):
+        return self.ds.outgoing(rnd)
+
+    def receive(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        self.ds.incoming(rnd, inbox)
+        if rnd >= self.ds.cert_round:
+            values = [v for _, v in (self.ds.resolved or ()) if v is not None]
+            if values:
+                self.decide(max(values))
+            self.halt()
+
+    def next_activity(self, rnd: int) -> int:
+        return self.ds.next_activity(rnd)

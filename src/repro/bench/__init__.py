@@ -1,0 +1,16 @@
+"""Experiment harness: workload generators, per-experiment series
+builders and the CLI runner behind EXPERIMENTS.md."""
+
+from repro.bench.workloads import (
+    byzantine_sample,
+    input_vector,
+    rumor_vector,
+    table1_fault_bound,
+)
+
+__all__ = [
+    "byzantine_sample",
+    "input_vector",
+    "rumor_vector",
+    "table1_fault_bound",
+]

@@ -1,0 +1,81 @@
+"""Command-line experiment runner: regenerates the paper-shaped tables.
+
+Usage::
+
+    python -m repro.bench.runner table1
+    python -m repro.bench.runner e5 e9
+    python -m repro.bench.runner all
+
+Each experiment id maps to a series builder in
+:mod:`repro.bench.series`; the output is an aligned text table (the
+same rows recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import series
+
+__all__ = ["EXPERIMENTS", "format_table", "main", "run_experiment"]
+
+EXPERIMENTS = {
+    "table1": (series.exp_table1, "Table 1: linear time + communication ranges"),
+    "e5": (series.exp_e5_aea, "Theorem 5: Almost-Everywhere-Agreement"),
+    "e6": (series.exp_e6_scv, "Theorem 6: Spread-Common-Value"),
+    "e7": (series.exp_e7_consensus_few, "Theorem 7: Few-Crashes-Consensus"),
+    "e8": (series.exp_e8_consensus_many, "Theorem 8/Cor 1: Many-Crashes-Consensus"),
+    "e9": (series.exp_e9_gossip, "Theorem 9: Gossip"),
+    "e10": (series.exp_e10_checkpointing, "Theorem 10: Checkpointing"),
+    "e11": (series.exp_e11_byzantine, "Theorem 11: AB-Consensus"),
+    "e12": (series.exp_e12_singleport, "Theorem 12: single-port Linear-Consensus"),
+    "e13": (series.exp_e13_lowerbounds, "Theorem 13: lower bounds"),
+    "baselines": (series.exp_baselines, "Cross-comparison vs classical baselines"),
+}
+
+
+def format_table(rows: list[dict]) -> str:
+    """Align a list of row dicts into a printable text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns)))
+        for row in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def run_experiment(name: str) -> list[dict]:
+    """Run one experiment by id and return its rows."""
+    builder, _ = EXPERIMENTS[name]
+    return builder()
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or ["all"]
+    if wanted == ["all"]:
+        wanted = list(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; choose from {list(EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        builder, title = EXPERIMENTS[name]
+        started = time.time()
+        rows = builder()
+        elapsed = time.time() - started
+        print(f"\n== {name}: {title}  [{elapsed:.1f}s]")
+        print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,47 @@
+"""The paper's algorithms (Sections 4-7)."""
+
+from repro.core.aea import AEAComponent, AEAProcess, aea_overlay
+from repro.core.byzantine import (
+    ABConsensusProcess,
+    EquivocatingSource,
+    SilentByzantine,
+    SpammingByzantine,
+)
+from repro.core.checkpointing import CheckpointingProcess, mask_to_set, set_to_mask
+from repro.core.consensus import (
+    FewCrashesConsensusProcess,
+    ManyCrashesConsensusProcess,
+    mcc_overlay,
+)
+from repro.core.dolev_strong import AuthenticatedSet, ParallelDolevStrong
+from repro.core.gossip import GossipProcess, SetDelta, gossip_overlay
+from repro.core.local_probe import LocalProbe
+from repro.core.params import DEGREE_CAP, LITTLE_FLOOR, ProtocolParams
+from repro.core.scv import SCVComponent, SCVProcess
+
+__all__ = [
+    "ABConsensusProcess",
+    "AEAComponent",
+    "AEAProcess",
+    "AuthenticatedSet",
+    "CheckpointingProcess",
+    "DEGREE_CAP",
+    "EquivocatingSource",
+    "FewCrashesConsensusProcess",
+    "GossipProcess",
+    "LITTLE_FLOOR",
+    "LocalProbe",
+    "ManyCrashesConsensusProcess",
+    "ParallelDolevStrong",
+    "ProtocolParams",
+    "SCVComponent",
+    "SCVProcess",
+    "SetDelta",
+    "SilentByzantine",
+    "SpammingByzantine",
+    "aea_overlay",
+    "gossip_overlay",
+    "mask_to_set",
+    "mcc_overlay",
+    "set_to_mask",
+]

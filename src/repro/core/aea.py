@@ -1,0 +1,193 @@
+"""Algorithm ``Almost-Everywhere-Agreement`` (Fig. 1, Theorem 5).
+
+Little nodes (the ``min(n, max(5t, floor))`` smallest names) flood rumor
+1 over a committee Ramanujan graph ``G`` for Part 1, run local probing
+for Part 2 (survivors decide their candidate value), and notify their
+*related* nodes (same residue modulo the committee size) in Part 3.
+
+The implementation generalises the paper's binary rumor to any
+*join-semilattice over non-negative integers with bitwise OR*: with
+candidates in ``{0, 1}`` this is exactly Fig. 1 (rumor 1 floods, rumor 0
+is silence); with ``n``-bit masks it is the "combined messages" variant
+used by the checkpointing algorithm's ``n`` concurrent consensus
+instances (Fig. 6).  In both cases a node transmits whenever its
+candidate *grows*, which for the binary case happens only on the
+``0 → 1`` transition of the pseudocode.
+
+The class is a *component*: it exposes ``outgoing``/``incoming``/
+``next_activity``/``finished`` against absolute round numbers so that
+:class:`~repro.core.consensus.FewCrashesConsensusProcess` can chain it
+with Spread-Common-Value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.local_probe import LocalProbe
+from repro.core.params import ProtocolParams
+from repro.graphs.graph import Graph
+from repro.graphs.ramanujan import certified_ramanujan_graph
+from repro.sim.process import Multicast, Process
+
+__all__ = ["AEAComponent", "AEAProcess", "aea_overlay"]
+
+
+def aea_overlay(params: ProtocolParams) -> Graph:
+    """The committee overlay ``G``: a certified (near-)Ramanujan graph
+    on the little nodes (paper: ``G(5t, 5^8)``)."""
+    return certified_ramanujan_graph(
+        params.little_count, params.little_degree, seed=params.seed
+    )
+
+
+class AEAComponent:
+    """Per-node state machine for Almost-Everywhere-Agreement.
+
+    Parameters
+    ----------
+    pid, params:
+        The node and the shared parameter derivation.
+    input_value:
+        Non-negative integer candidate (``0``/``1`` for the paper's
+        binary case, an ``n``-bit mask for the vectorised case).
+    start_round:
+        Absolute round at which Part 1 begins.
+    graph:
+        The committee overlay; pass the shared instance so every node
+        uses the identical deterministic graph.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        input_value: int,
+        start_round: int,
+        graph: Graph,
+    ):
+        if input_value < 0:
+            raise ValueError(f"candidates must be non-negative, got {input_value}")
+        self.pid = pid
+        self.params = params
+        self.graph = graph
+        self.candidate = input_value
+        self.start_round = start_round
+        self.is_little = params.is_little(pid)
+
+        flood = params.little_flood_rounds
+        probe_rounds = params.little_probe_rounds
+        #: Part boundaries in absolute rounds.
+        self.flood_end = start_round + flood  # Part 1 occupies [start, flood_end)
+        self.probe_start = self.flood_end
+        self.notify_round = self.flood_end + probe_rounds
+        self.end_round = self.notify_round + 1
+
+        self.decision: Optional[int] = None
+        self._pending_flood = self.is_little and self.candidate != 0
+        neighbors = graph.neighbors(pid) if self.is_little else ()
+        self._probe = LocalProbe(
+            neighbors=neighbors,
+            delta=params.little_delta,
+            start_round=self.probe_start,
+            rounds=probe_rounds,
+            payload_fn=lambda: self.candidate,
+        )
+
+    # -- component interface ---------------------------------------------
+
+    def outgoing(self, rnd: int) -> list:
+        out: list = []
+        if self.is_little and self.start_round <= rnd < self.flood_end:
+            if self._pending_flood:
+                self._pending_flood = False
+                neighbors = self.graph.neighbors(self.pid)
+                if neighbors:
+                    out.append(Multicast(neighbors, self.candidate))
+        elif self.is_little and self._probe.in_window(rnd):
+            probe_out = self._probe.outgoing(rnd)
+            if probe_out is not None:
+                dsts, payload = probe_out
+                out.append(Multicast(dsts, payload))
+        elif rnd == self.notify_round and self.is_little and self.decision is not None:
+            related = self.params.related_nodes(self.pid)
+            if related:
+                out.append(Multicast(tuple(related), self.decision))
+        return out
+
+    def incoming(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        if self.is_little and self.start_round <= rnd < self.flood_end:
+            merged = self.candidate
+            for _, payload in inbox:
+                merged |= payload
+            if merged != self.candidate:
+                self.candidate = merged
+                # Schedule the flood of the grown candidate for the next
+                # round of Part 1 (the pseudocode's "received rumor 1 in
+                # the previous round for the first time").
+                if rnd + 1 < self.flood_end:
+                    self._pending_flood = True
+        elif self.is_little and self._probe.in_window(rnd):
+            self._probe.note_receptions(rnd, len(inbox))
+            merged = self.candidate
+            for _, payload in inbox:
+                merged |= payload
+            # Fig. 1 Part 2 clause (b); Lemma 4 shows this never fires
+            # for surviving nodes when t < n/5.
+            self.candidate = merged
+            if self._probe.finished(rnd) and self._probe.survived:
+                self.decision = self.candidate
+        elif rnd == self.notify_round:
+            if not self.is_little:
+                for _, payload in inbox:
+                    self.decision = payload
+                    break
+
+    def next_activity(self, rnd: int) -> int:
+        if not self.is_little:
+            # Non-little nodes act only at the notify round (they
+            # receive the notification and finish).
+            return max(rnd + 1, self.notify_round)
+        if rnd < self.flood_end:
+            if self._pending_flood:
+                return rnd + 1
+            return max(rnd + 1, self.probe_start)
+        if rnd <= self.notify_round:
+            return rnd + 1
+        return rnd + 1
+
+    def finished(self, rnd: int) -> bool:
+        return rnd >= self.notify_round
+
+    @property
+    def survived_probing(self) -> bool:
+        return self._probe.survived
+
+
+class AEAProcess(Process):
+    """Standalone process wrapper running only AEA (used by the E5
+    benchmarks and the AEA unit tests)."""
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        input_value: int,
+        graph: Optional[Graph] = None,
+    ):
+        super().__init__(pid, params.n)
+        overlay = graph if graph is not None else aea_overlay(params)
+        self.component = AEAComponent(pid, params, input_value, 0, overlay)
+
+    def send(self, rnd: int):
+        return self.component.outgoing(rnd)
+
+    def receive(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        self.component.incoming(rnd, inbox)
+        if self.component.finished(rnd):
+            if self.component.decision is not None:
+                self.decide(self.component.decision)
+            self.halt()
+
+    def next_activity(self, rnd: int) -> int:
+        return self.component.next_activity(rnd)

@@ -1,0 +1,249 @@
+"""Algorithm ``AB-Consensus`` (Fig. 7, Theorem 11): consensus under
+authenticated Byzantine faults, ``t < n/2``, in ``O(t)`` rounds with
+``O(t² + n)`` messages from non-faulty nodes.
+
+Parts (little nodes = the ``min(n, max(5t, floor))`` smallest names):
+
+1. little nodes run the combined parallel ``DS-algorithm``
+   (:class:`~repro.core.dolev_strong.ParallelDolevStrong`), ending with
+   identical resolved value vectors and an :class:`AuthenticatedSet`
+   certificate carrying enough little signatures that no Byzantine
+   coalition (≤ ``t`` signers) can fabricate one;
+2. little nodes send the authenticated set to their *related* nodes
+   (same residue modulo the committee size);
+3. the set propagates through the constant-degree expander ``H``
+   (the Spread-Common-Value Part 1 mechanism); receivers verify the
+   certificate and drop forgeries;
+4. nodes still lacking a set send *signed inquiries* to every little
+   node, which reply to verified inquirers.  Everyone decides on the
+   maximum value of the (unique) authenticated common set.
+
+Also defined here: Byzantine little/plain behaviours used by the tests
+and benchmarks (silent, equivocating source, spamming forger).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.auth.signatures import SignatureService, SigningKey
+from repro.core.dolev_strong import AuthenticatedSet, ParallelDolevStrong, ds_message, vector_message
+from repro.core.params import ProtocolParams
+from repro.graphs.families import spread_graph
+from repro.graphs.graph import Graph
+from repro.sim.adversary import ByzantineProcess
+from repro.sim.process import Multicast, Process
+
+__all__ = [
+    "ABConsensusProcess",
+    "EquivocatingSource",
+    "SilentByzantine",
+    "SpammingByzantine",
+    "inquiry_message",
+]
+
+
+def inquiry_message(pid: int) -> tuple:
+    """Canonical signed form of a Part 4 inquiry."""
+    return ("inq", pid)
+
+
+class ABConsensusProcess(Process):
+    """Honest participant of AB-Consensus."""
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        input_value: int,
+        service: SignatureService,
+        *,
+        spread: Optional[Graph] = None,
+    ):
+        super().__init__(pid, params.n)
+        self.params = params
+        self.service = service
+        self.key = service.key_for(pid)
+        self.m = params.byz_little_count
+        self.is_little = pid < self.m
+        self.threshold = params.byz_certificate_threshold
+        self.spread = spread if spread is not None else spread_graph(params.n, params.seed)
+
+        self.ds: Optional[ParallelDolevStrong] = None
+        if self.is_little:
+            self.ds = ParallelDolevStrong(pid, params, input_value, 0, service, self.key)
+
+        #: Part boundaries (absolute rounds).
+        self.p1_end = params.t + 2  # DS relay rounds + certificate round
+        self.p2_round = self.p1_end
+        self.p3_start = self.p1_end + 1
+        self.p3_end = self.p3_start + params.scv_spread_rounds
+        self.p4_inquiry = self.p3_end
+        self.p4_response = self.p3_end + 1
+        self.end_round = self.p4_response + 1
+
+        self.common: Optional[AuthenticatedSet] = None
+        self._pending_forward = False
+        self._inquirers: list[int] = []
+
+    # -- verification --------------------------------------------------------
+
+    def _verify_set(self, candidate: Any) -> bool:
+        if not isinstance(candidate, AuthenticatedSet):
+            return False
+        if len(candidate.values) != self.m:
+            return False
+        valid = self.service.count_valid(
+            candidate.signatures,
+            vector_message(candidate.values),
+            range(self.m),
+        )
+        return valid >= self.threshold
+
+    def _adopt(self, candidate: Any, forward: bool) -> None:
+        if self.common is None and self._verify_set(candidate):
+            self.common = candidate
+            self._pending_forward = forward
+
+    # -- engine interface -------------------------------------------------------
+
+    def send(self, rnd: int):
+        out: list = []
+        if rnd < self.p1_end:
+            if self.ds is not None:
+                out.extend(self.ds.outgoing(rnd))
+            return out
+        if rnd == self.p2_round:
+            if self.ds is not None and self.ds.certificate is not None:
+                # Adopt own certificate and notify related nodes.
+                self._adopt(self.ds.certificate, forward=True)
+                related = tuple(range(self.pid + self.m, self.n, self.m))
+                if related and self.common is not None:
+                    out.append(Multicast(related, self.common))
+            return out
+        if rnd < self.p3_end:
+            if self._pending_forward and self.common is not None:
+                self._pending_forward = False
+                neighbors = self.spread.neighbors(self.pid)
+                if neighbors:
+                    out.append(Multicast(neighbors, self.common))
+            return out
+        if rnd == self.p4_inquiry:
+            if self.common is None:
+                little = tuple(q for q in range(self.m) if q != self.pid)
+                if little:
+                    signature = self.key.sign(inquiry_message(self.pid))
+                    out.append(Multicast(little, ("inq", self.pid, signature)))
+            return out
+        if rnd == self.p4_response:
+            if self.is_little and self.common is not None and self._inquirers:
+                out.append(Multicast(tuple(self._inquirers), self.common))
+                self._inquirers = []
+            return out
+        return out
+
+    def receive(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        if rnd < self.p1_end:
+            if self.ds is not None:
+                self.ds.incoming(rnd, inbox)
+            return
+        if rnd == self.p2_round:
+            for _, payload in inbox:
+                self._adopt(payload, forward=True)
+            return
+        if rnd < self.p3_end:
+            for _, payload in inbox:
+                self._adopt(payload, forward=rnd + 1 < self.p3_end)
+            return
+        if rnd == self.p4_inquiry:
+            if self.is_little and self.common is not None:
+                for src, payload in inbox:
+                    if not (isinstance(payload, tuple) and len(payload) == 3):
+                        continue
+                    tag, claimed, signature = payload
+                    if tag != "inq" or claimed != src:
+                        continue
+                    if self.service.verify(signature, inquiry_message(src), src):
+                        self._inquirers.append(src)
+            return
+        if rnd == self.p4_response:
+            for _, payload in inbox:
+                self._adopt(payload, forward=False)
+            if self.common is not None:
+                self.decide(self.common.max_value())
+            self.halt()
+
+    def next_activity(self, rnd: int) -> int:
+        if rnd < self.p1_end:
+            if self.ds is None:
+                return self.p4_inquiry if self.common is None else self.p4_response
+            return min(self.ds.next_activity(rnd), self.p1_end)
+        if rnd < self.p3_end:
+            if self._pending_forward:
+                return rnd + 1
+            return max(rnd + 1, self.p4_inquiry)
+        return rnd + 1
+
+
+class SilentByzantine(ByzantineProcess):
+    """A Byzantine node that never sends anything (fail-silent)."""
+
+    def next_activity(self, rnd: int) -> int:
+        return rnd + 10_000
+
+
+class EquivocatingSource(ByzantineProcess):
+    """A Byzantine little node that equivocates in its own DS instance:
+    value 0 (properly signed) to the first half of the committee, value 1
+    to the second half.  Honest DS resolves its instance to null.
+    """
+
+    def __init__(self, pid: int, n: int, params: ProtocolParams, service: SignatureService):
+        super().__init__(pid, n)
+        self.params = params
+        self.key = service.key_for(pid)
+        self.m = params.byz_little_count
+
+    def send(self, rnd: int):
+        if rnd != 0 or self.pid >= self.m:
+            return ()
+        others = [q for q in range(self.m) if q != self.pid]
+        half = len(others) // 2
+        out = []
+        for value, group in ((0, others[:half]), (1, others[half:])):
+            if not group:
+                continue
+            chain = (self.key.sign(ds_message(self.pid, value)),)
+            out.append(Multicast(tuple(group), ((self.pid, value, chain),)))
+        return out
+
+    def next_activity(self, rnd: int) -> int:
+        return rnd + 1 if rnd < 1 else rnd + 10_000
+
+
+class SpammingByzantine(ByzantineProcess):
+    """A Byzantine node that floods fabricated certificates and junk
+    every round; all of it fails verification at honest receivers, and
+    none of it is charged to the non-faulty message count."""
+
+    def __init__(self, pid: int, n: int, params: ProtocolParams, service: SignatureService):
+        super().__init__(pid, n)
+        self.params = params
+        self.key = service.key_for(pid)
+        self.m = params.byz_little_count
+        self._horizon = params.t + 4 + params.scv_spread_rounds
+
+    def send(self, rnd: int):
+        if rnd > self._horizon:
+            return ()
+        # A forged "authenticated" set: self-signed only, so it can never
+        # reach the certificate threshold at any honest verifier.
+        values = tuple((i, 1) for i in range(self.m))
+        forged = AuthenticatedSet(
+            values, (self.key.sign(vector_message(values)),)
+        )
+        targets = tuple(q for q in range(min(self.n, 16)) if q != self.pid)
+        return [Multicast(targets, forged)] if targets else []
+
+    def next_activity(self, rnd: int) -> int:
+        return rnd + 1 if rnd <= self._horizon else rnd + 10_000

@@ -1,0 +1,220 @@
+"""The Dolev–Strong authenticated-broadcast substrate (``DS-algorithm``).
+
+Section 7 uses Dolev & Strong's t-resilient Byzantine Broadcast [24] as
+a black box: ``5t`` little nodes run ``5t`` *parallel* instances (one
+per little source), with per-round messages between a sender/receiver
+pair combined into one.  This module implements that combined parallel
+execution as a component over a signature service.
+
+Protocol (relative rounds ``ρ = 0 .. t``):
+
+* ``ρ = 0``: source ``j`` signs ``("ds", j, v_j)`` and sends it to every
+  little node.
+* On receiving, at round ``ρ``, a chain on value ``v`` for instance
+  ``j`` with at least ``ρ + 1`` *distinct valid little* signatures whose
+  first signer is ``j``: accept ``v`` (at most two values tracked per
+  instance), and -- if newly accepted and relay rounds remain -- append
+  the own signature and relay to every little node at round ``ρ + 1``.
+* After round ``t``: instance ``j`` resolves to its unique accepted
+  value, or ``None`` (null) if zero or several values were accepted.
+
+A final *certificate round* (``ρ = t + 1``, the assembly step for the
+paper's "authenticated common set of values" with at least ``4t`` little
+signatures) has every little node sign the canonical resolved vector and
+exchange the signatures; honest nodes end with an
+:class:`AuthenticatedSet` carrying ``≥ m − t`` little signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.auth.signatures import Signature, SignatureService, SigningKey
+from repro.core.params import ProtocolParams
+from repro.sim.process import Multicast
+
+__all__ = ["AuthenticatedSet", "ParallelDolevStrong", "ds_message", "vector_message"]
+
+
+def ds_message(instance: int, value: Any) -> tuple:
+    """Canonical signed form of a DS relay for ``instance``/``value``."""
+    return ("ds", instance, value)
+
+
+def vector_message(values: tuple) -> tuple:
+    """Canonical signed form of the resolved value vector."""
+    return ("abset", values)
+
+
+class AuthenticatedSet:
+    """An authenticated common set of values (Fig. 7's central object).
+
+    ``values`` is the canonical tuple ``((instance, value-or-None), ...)``
+    over all little instances; ``signatures`` are little-node signatures
+    on :func:`vector_message`.  Verification = at least the certificate
+    threshold of distinct valid little signatures.
+    """
+
+    __slots__ = ("values", "signatures")
+
+    def __init__(self, values: tuple, signatures: tuple):
+        self.values = values
+        self.signatures = signatures
+
+    def bits_size(self) -> int:
+        value_bits = 32 * max(1, len(self.values))
+        return value_bits + 256 * len(self.signatures)
+
+    def max_value(self):
+        """The decision rule: the maximum non-null value."""
+        present = [v for _, v in self.values if v is not None]
+        return max(present) if present else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AuthenticatedSet {len(self.values)} values, {len(self.signatures)} sigs>"
+
+
+class ParallelDolevStrong:
+    """Combined parallel Dolev–Strong for the little committee.
+
+    One instance of this component runs at each *honest* little node;
+    Byzantine little nodes substitute arbitrary behaviour (they hold
+    only their own signing key, so the acceptance rule contains them).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        input_value: Any,
+        start_round: int,
+        service: SignatureService,
+        key: SigningKey,
+        committee: int | None = None,
+    ):
+        self.pid = pid
+        self.params = params
+        self.service = service
+        self.key = key
+        self.start_round = start_round
+        #: Instances/participants; Fig. 7 uses the little committee, the
+        #: DS-everywhere baseline passes ``committee=n``.
+        self.m = committee if committee is not None else params.byz_little_count
+        self.relay_rounds = params.t + 1  # ρ = 0 .. t
+        self.cert_round = start_round + self.relay_rounds
+        self.end_round = self.cert_round + 1
+
+        self.input_value = input_value
+        #: instance -> {value: chain} for accepted values (at most 2 kept).
+        self.accepted: dict[int, dict[Any, tuple]] = {}
+        #: relays queued for the next round: list of (instance, value, chain).
+        self._outbox: list[tuple[int, Any, tuple]] = []
+        self.resolved: Optional[tuple] = None
+        self.certificate: Optional[AuthenticatedSet] = None
+        self._cert_sigs: list[Signature] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _little(self) -> tuple[int, ...]:
+        return tuple(q for q in range(self.m) if q != self.pid)
+
+    def _chain_valid(self, instance: int, value: Any, chain: tuple, rho: int) -> bool:
+        """Acceptance check for a chain received at relative round ``rho``."""
+        if not chain or len(chain) < rho + 1:
+            return False
+        message = ds_message(instance, value)
+        signers: list[int] = []
+        for signature in chain:
+            if not isinstance(signature, Signature):
+                return False
+            if signature.signer >= self.m:
+                return False
+            if not self.service.verify(signature, message, signature.signer):
+                return False
+            signers.append(signature.signer)
+        if len(set(signers)) != len(signers):
+            return False
+        return signers[0] == instance
+
+    def _resolve(self) -> tuple:
+        items = []
+        for instance in range(self.m):
+            values = self.accepted.get(instance, {})
+            if len(values) == 1:
+                (value,) = values.keys()
+            else:
+                value = None  # zero accepted, or equivocation detected
+            items.append((instance, value))
+        return tuple(items)
+
+    # -- component interface -----------------------------------------------
+
+    def outgoing(self, rnd: int) -> list:
+        rho = rnd - self.start_round
+        if rho < 0 or rnd >= self.end_round:
+            return []
+        out: list = []
+        if rho == 0:
+            chain = (self.key.sign(ds_message(self.pid, self.input_value)),)
+            self.accepted[self.pid] = {self.input_value: chain}
+            items = ((self.pid, self.input_value, chain),)
+            out.append(Multicast(self._little(), items))
+        elif rho < self.relay_rounds:
+            if self._outbox:
+                items = tuple(self._outbox)
+                self._outbox = []
+                out.append(Multicast(self._little(), items))
+        elif rnd == self.cert_round:
+            self.resolved = self._resolve()
+            own = self.key.sign(vector_message(self.resolved))
+            self._cert_sigs.append(own)
+            out.append(Multicast(self._little(), ("cert", own)))
+        return out
+
+    def incoming(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        rho = rnd - self.start_round
+        if rho < 0 or rnd >= self.end_round:
+            return
+        if rho < self.relay_rounds:
+            for _, payload in inbox:
+                if not isinstance(payload, tuple):
+                    continue
+                for item in payload:
+                    if not (isinstance(item, tuple) and len(item) == 3):
+                        continue
+                    instance, value, chain = item
+                    if not isinstance(instance, int) or not 0 <= instance < self.m:
+                        continue
+                    bucket = self.accepted.setdefault(instance, {})
+                    if value in bucket or len(bucket) >= 2:
+                        continue
+                    if not self._chain_valid(instance, value, tuple(chain), rho):
+                        continue
+                    new_chain = tuple(chain) + (
+                        self.key.sign(ds_message(instance, value)),
+                    )
+                    bucket[value] = new_chain
+                    if rho + 1 < self.relay_rounds:
+                        self._outbox.append((instance, value, new_chain))
+        elif rnd == self.cert_round:
+            assert self.resolved is not None
+            message = vector_message(self.resolved)
+            for src, payload in inbox:
+                if not (isinstance(payload, tuple) and len(payload) == 2):
+                    continue
+                tag, signature = payload
+                if tag != "cert":
+                    continue
+                if self.service.verify(signature, message, src):
+                    self._cert_sigs.append(signature)
+            self.certificate = AuthenticatedSet(self.resolved, tuple(self._cert_sigs))
+
+    def next_activity(self, rnd: int) -> int:
+        if rnd < self.start_round:
+            return self.start_round
+        if rnd < self.cert_round:
+            return rnd + 1 if self._outbox else self.cert_round
+        return rnd + 1
+
+    def finished(self, rnd: int) -> bool:
+        return rnd >= self.cert_round

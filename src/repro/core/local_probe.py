@@ -1,0 +1,90 @@
+"""The local-probing primitive (Proposition 1, used by Figs. 1, 4, 5).
+
+Local probing runs for ``γ`` consecutive rounds on an overlay graph:
+normally a participating node sends a message to each overlay neighbor
+every round; if in some round it receives fewer than ``δ`` messages it
+*pauses prematurely* (stops sending for the remainder of the window).
+A node *survives* the instance if it never paused.
+
+Proposition 1 ties survival to ``(γ, δ)``-dense neighborhoods and
+``δ``-survival subsets; the tests check both directions against the
+combinatorial definitions in :mod:`repro.graphs.compactness`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["LocalProbe"]
+
+
+class LocalProbe:
+    """Per-process state machine for one local-probing instance.
+
+    Parameters
+    ----------
+    neighbors:
+        The process's overlay neighborhood.
+    delta:
+        Pause threshold ``δ``: receiving fewer than ``δ`` probe messages
+        in a probing round pauses the node.
+    start_round, rounds:
+        The probing window ``[start_round, start_round + rounds)`` in
+        absolute round numbers.
+    payload_fn:
+        Called each probing round to produce the payload to send (the
+        algorithms piggyback their current rumor / extant set / completion
+        set on probe messages).
+    """
+
+    def __init__(
+        self,
+        neighbors: tuple[int, ...],
+        delta: int,
+        start_round: int,
+        rounds: int,
+        payload_fn: Callable[[], Any],
+    ):
+        self.neighbors = neighbors
+        self.delta = delta
+        self.start_round = start_round
+        self.rounds = rounds
+        self.payload_fn = payload_fn
+        self.paused = False
+        self._last_probe_round = start_round + rounds - 1
+
+    def in_window(self, rnd: int) -> bool:
+        """Whether ``rnd`` lies in the probing window."""
+        return self.start_round <= rnd <= self._last_probe_round
+
+    def outgoing(self, rnd: int) -> Optional[tuple[tuple[int, ...], Any]]:
+        """Destinations and payload to send this probing round.
+
+        ``None`` when outside the window or paused.  A node with an
+        empty neighborhood trivially participates but sends nothing.
+        """
+        if not self.in_window(rnd) or self.paused:
+            return None
+        if not self.neighbors:
+            return None
+        return (self.neighbors, self.payload_fn())
+
+    def note_receptions(self, rnd: int, count: int) -> None:
+        """Account the probe messages received in round ``rnd``.
+
+        Receiving fewer than ``δ`` messages in any probing round pauses
+        the node prematurely (it keeps receiving but stops sending).
+        """
+        if not self.in_window(rnd) or self.paused:
+            return
+        if count < self.delta:
+            self.paused = True
+
+    def finished(self, rnd: int) -> bool:
+        """Whether the probing window has fully elapsed by round ``rnd``."""
+        return rnd >= self._last_probe_round
+
+    @property
+    def survived(self) -> bool:
+        """Survival = never paused (valid once the window has elapsed)."""
+        return not self.paused

@@ -1,0 +1,187 @@
+"""Algorithm ``Spread-Common-Value`` (Fig. 2, Theorem 6).
+
+An instance starts with at least ``κn`` nodes holding a *common value*
+(everyone else holds ``null``); every non-faulty node must decide on the
+common value.  Part 1 floods the value over a constant-degree expander
+``H``; Part 2 mops up: if ``t² ≤ n`` the undecided nodes ask every
+little node directly, otherwise they run ``⌈lg(t+1)⌉`` inquiry phases
+over the Lemma 5 graphs ``G_i`` of doubling degree.
+
+Values are opaque (the checkpointing pipeline passes ``n``-bit masks);
+in the crash model all non-null values in one instance are equal, so a
+node adopts the first value it receives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.params import ProtocolParams
+from repro.graphs.families import scv_inquiry_graph, spread_graph
+from repro.graphs.graph import Graph
+from repro.sim.process import Multicast, Process
+
+__all__ = ["SCVComponent", "SCVProcess"]
+
+#: Payload of an inquiry message; the round number determines the role
+#: (Section 4: "the role of a message is determined by the round in
+#: which it is sent"), so one bit suffices.
+_INQUIRY = 1
+
+
+class SCVComponent:
+    """Per-node state machine for Spread-Common-Value.
+
+    Parameters
+    ----------
+    value:
+        The common value, or ``None`` at non-initialised nodes.
+    start_round:
+        Absolute round at which Part 1 begins.
+    spread:
+        The shared expander ``H``.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        value: Optional[Any],
+        start_round: int,
+        spread: Optional[Graph] = None,
+    ):
+        self.pid = pid
+        self.params = params
+        self.value = value
+        self.start_round = start_round
+        self.spread = spread if spread is not None else spread_graph(params.n, params.seed)
+
+        self.spread_rounds = params.scv_spread_rounds
+        #: Part 2 begins right after the last flooding round.
+        self.inquiry_start = start_round + self.spread_rounds
+        if params.scv_direct_inquiry:
+            # Branch A (t² ≤ n): one inquiry round, one response round.
+            self.end_round = self.inquiry_start + 2
+        else:
+            self.end_round = self.inquiry_start + 2 * params.scv_phase_count
+
+        # Forward the value on the round after we first hold it.
+        self._pending_forward = value is not None
+        self._inquirers: list[int] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _phase_of(self, rnd: int) -> Optional[tuple[int, bool]]:
+        """Map ``rnd`` to ``(phase index, is_inquiry_round)`` of Part 2."""
+        offset = rnd - self.inquiry_start
+        if offset < 0 or rnd >= self.end_round:
+            return None
+        return (offset // 2 + 1, offset % 2 == 0)
+
+    # -- component interface ------------------------------------------------
+
+    def outgoing(self, rnd: int) -> list:
+        out: list = []
+        if self.start_round <= rnd < self.inquiry_start:
+            if self._pending_forward:
+                self._pending_forward = False
+                neighbors = self.spread.neighbors(self.pid)
+                if neighbors:
+                    out.append(Multicast(neighbors, self.value))
+            return out
+
+        phase = self._phase_of(rnd)
+        if phase is None:
+            return out
+        index, is_inquiry = phase
+        if self.params.scv_direct_inquiry:
+            if is_inquiry and self.value is None:
+                little = tuple(
+                    q for q in range(self.params.little_count) if q != self.pid
+                )
+                if little:
+                    out.append(Multicast(little, _INQUIRY))
+            elif not is_inquiry and self.value is not None and self._inquirers:
+                out.append(Multicast(tuple(self._inquirers), self.value))
+                self._inquirers = []
+        else:
+            if is_inquiry and self.value is None:
+                graph = scv_inquiry_graph(self.params.n, index, self.params.seed)
+                neighbors = graph.neighbors(self.pid)
+                if neighbors:
+                    out.append(Multicast(neighbors, _INQUIRY))
+            elif not is_inquiry and self.value is not None and self._inquirers:
+                out.append(Multicast(tuple(self._inquirers), self.value))
+                self._inquirers = []
+        return out
+
+    def incoming(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        if self.start_round <= rnd < self.inquiry_start:
+            if self.value is None:
+                for _, payload in inbox:
+                    self.value = payload
+                    if rnd + 1 < self.inquiry_start:
+                        self._pending_forward = True
+                    break
+            return
+
+        phase = self._phase_of(rnd)
+        if phase is None:
+            return
+        _, is_inquiry = phase
+        if is_inquiry:
+            # Only inquiries travel in inquiry rounds (roles are fixed
+            # by round number), so every sender is an inquirer.
+            if self.value is not None and inbox:
+                self._inquirers = [src for src, _ in inbox]
+        else:
+            # Symmetrically, only responses (values) travel here.
+            if self.value is None and inbox:
+                self.value = inbox[0][1]
+
+    def next_activity(self, rnd: int) -> int:
+        if rnd < self.inquiry_start:
+            if self._pending_forward:
+                return rnd + 1
+            return max(rnd + 1, self.inquiry_start)
+        if rnd < self.end_round:
+            if self.value is None or self._inquirers:
+                return rnd + 1
+            # Decided and not responding: next duty is the final round
+            # (where the wrapper halts).
+            return max(rnd + 1, self.end_round - 1)
+        return rnd + 1
+
+    def finished(self, rnd: int) -> bool:
+        return rnd >= self.end_round - 1
+
+    @property
+    def decision(self) -> Optional[Any]:
+        return self.value
+
+
+class SCVProcess(Process):
+    """Standalone SCV wrapper (E6 benchmarks and unit tests)."""
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        value: Optional[Any],
+        spread: Optional[Graph] = None,
+    ):
+        super().__init__(pid, params.n)
+        self.component = SCVComponent(pid, params, value, 0, spread)
+
+    def send(self, rnd: int):
+        return self.component.outgoing(rnd)
+
+    def receive(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        self.component.incoming(rnd, inbox)
+        if self.component.finished(rnd):
+            if self.component.decision is not None:
+                self.decide(self.component.decision)
+            self.halt()
+
+    def next_activity(self, rnd: int) -> int:
+        return self.component.next_activity(rnd)

@@ -1,0 +1,74 @@
+"""Overlay-graph substrate: (near-)Ramanujan constructions and the
+combinatorics (expansion, compactness, dense neighborhoods) of paper
+Section 3.
+"""
+
+from repro.graphs.compactness import (
+    compactness_profile,
+    dense_neighborhood,
+    generalized_neighborhood,
+    is_survival_subset,
+    survival_subset,
+)
+from repro.graphs.expander import (
+    edges_between,
+    induced_volume,
+    is_connected_within,
+    is_ramanujan,
+    mixing_lemma_gap,
+    ramanujan_bound,
+    second_eigenvalue,
+    spectral_certificate,
+)
+from repro.graphs.families import (
+    mcc_phase_degree,
+    mcc_phase_graph,
+    random_out_graph,
+    scv_inquiry_degree,
+    scv_inquiry_graph,
+    spread_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.lps import lps_graph, lps_parameters_ok, lps_vertex_count
+from repro.graphs.ramanujan import (
+    certified_ramanujan_graph,
+    clear_graph_cache,
+    complete_graph,
+    ell_expansion_size,
+    margulis_graph,
+    paper_delta,
+    paper_ell,
+)
+
+__all__ = [
+    "Graph",
+    "certified_ramanujan_graph",
+    "clear_graph_cache",
+    "compactness_profile",
+    "complete_graph",
+    "dense_neighborhood",
+    "edges_between",
+    "ell_expansion_size",
+    "generalized_neighborhood",
+    "induced_volume",
+    "is_connected_within",
+    "is_ramanujan",
+    "is_survival_subset",
+    "lps_graph",
+    "lps_parameters_ok",
+    "lps_vertex_count",
+    "margulis_graph",
+    "mcc_phase_degree",
+    "mcc_phase_graph",
+    "mixing_lemma_gap",
+    "paper_delta",
+    "paper_ell",
+    "ramanujan_bound",
+    "random_out_graph",
+    "scv_inquiry_degree",
+    "scv_inquiry_graph",
+    "second_eigenvalue",
+    "spectral_certificate",
+    "spread_graph",
+    "survival_subset",
+]

@@ -1,0 +1,185 @@
+"""Lubotzky–Phillips–Sarnak (LPS) Ramanujan graphs ``X^{p,q}``.
+
+These are the *provably* Ramanujan graphs the paper's Section 3 builds
+on (via [19, 31, 34]): for distinct primes ``p, q ≡ 1 (mod 4)`` with
+``p`` a quadratic residue mod ``q``, the Cayley graph of ``PSL(2, q)``
+with respect to the ``p + 1`` integer-quaternion generators of norm
+``p`` is a non-bipartite ``(p+1)``-regular graph on ``q(q² − 1)/2``
+vertices with ``λ ≤ 2·sqrt(p)``.
+
+Construction (following Davidoff–Sarnak–Valette [19]):
+
+1. enumerate the ``p + 1`` integer solutions of
+   ``a₀² + a₁² + a₂² + a₃² = p`` with ``a₀ > 0`` odd and ``a₁, a₂, a₃``
+   even;
+2. fix ``i`` with ``i² ≡ −1 (mod q)`` and map each solution to the
+   matrix ``[[a₀ + i·a₁, a₂ + i·a₃], [−a₂ + i·a₃, a₀ − i·a₁]]`` over
+   ``F_q`` (determinant ``p``), rescaled by ``sqrt(p)⁻¹`` to land in
+   ``SL(2, q)``;
+3. vertices are the elements of ``PSL(2, q)`` (``SL(2, q)`` modulo
+   ``±I``); edges connect ``g`` to ``g·s`` for every generator ``s``.
+
+The available sizes are sparse (``n = q(q² − 1)/2``), which is exactly
+why the library's default overlays are the seeded certified graphs --
+LPS is provided for users who want zero probabilistic input *and* the
+genuine Ramanujan bound, and as ground truth for the spectral tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.graph import Graph
+
+__all__ = ["lps_graph", "lps_parameters_ok", "lps_vertex_count"]
+
+_CACHE: dict[tuple[int, int], Graph] = {}
+
+
+def _is_prime(x: int) -> bool:
+    if x < 2:
+        return False
+    for f in range(2, int(math.isqrt(x)) + 1):
+        if x % f == 0:
+            return False
+    return True
+
+
+def _legendre(a: int, q: int) -> int:
+    """The Legendre symbol ``(a/q)`` for odd prime ``q``."""
+    value = pow(a % q, (q - 1) // 2, q)
+    return -1 if value == q - 1 else value
+
+
+def _sqrt_mod(a: int, q: int) -> int:
+    """A square root of ``a`` modulo prime ``q`` (brute force; ``q`` is
+    small in every supported configuration)."""
+    a %= q
+    for x in range(q):
+        if (x * x) % q == a:
+            return x
+    raise ValueError(f"{a} is not a quadratic residue mod {q}")
+
+
+def lps_parameters_ok(p: int, q: int) -> bool:
+    """Whether ``(p, q)`` yields the non-bipartite PSL(2, q) graph."""
+    return (
+        p != q
+        and _is_prime(p)
+        and _is_prime(q)
+        and p % 4 == 1
+        and q % 4 == 1
+        and q > 2 * math.isqrt(p) + 1  # connectivity condition q > 2√p
+        and _legendre(p, q) == 1
+    )
+
+
+def lps_vertex_count(q: int) -> int:
+    """``|PSL(2, q)| = q(q² − 1)/2``."""
+    return q * (q * q - 1) // 2
+
+
+def _norm_p_quadruples(p: int) -> list[tuple[int, int, int, int]]:
+    """The ``p + 1`` quadruples with ``a₀ > 0`` odd, ``a₁,a₂,a₃`` even."""
+    bound = int(math.isqrt(p))
+    evens = [x for x in range(-bound, bound + 1) if x % 2 == 0]
+    found = []
+    for a0 in range(1, bound + 1, 2):
+        for a1 in evens:
+            for a2 in evens:
+                rest = p - a0 * a0 - a1 * a1 - a2 * a2
+                if rest < 0:
+                    continue
+                a3 = int(math.isqrt(rest))
+                if a3 * a3 == rest and a3 % 2 == 0:
+                    for sign in ((a3,) if a3 == 0 else (a3, -a3)):
+                        found.append((a0, a1, a2, sign))
+    return sorted(set(found))
+
+
+def _psl_canonical(m: tuple[int, int, int, int], q: int) -> tuple[int, int, int, int]:
+    """Canonical representative of ``{M, −M}`` in PSL(2, q)."""
+    neg = tuple((q - x) % q for x in m)
+    return min(m, neg)
+
+
+def _mat_mul(x: tuple, y: tuple, q: int) -> tuple[int, int, int, int]:
+    a, b, c, d = x
+    e, f, g, h = y
+    return (
+        (a * e + b * g) % q,
+        (a * f + b * h) % q,
+        (c * e + d * g) % q,
+        (c * f + d * h) % q,
+    )
+
+
+def lps_graph(p: int, q: int) -> Graph:
+    """The LPS Ramanujan graph ``X^{p,q}`` (non-bipartite case).
+
+    Raises ``ValueError`` for unsupported parameters; use
+    :func:`lps_parameters_ok` to screen.  Supported small instances:
+    ``(13, 5)`` (120 vtx... bipartite check applies), ``(5, 29)``,
+    ``(13, 17)`` -- see the tests for the certified ones.
+    """
+    if not lps_parameters_ok(p, q):
+        raise ValueError(
+            f"(p, q) = ({p}, {q}) does not satisfy the LPS conditions "
+            "(distinct primes ≡ 1 mod 4, q > 2√p, and (p/q) = 1)"
+        )
+    key = (p, q)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    i_unit = _sqrt_mod(q - 1, q)
+    scale = pow(_sqrt_mod(p, q), q - 2, q)  # sqrt(p)^{-1} mod q
+
+    generators = []
+    for a0, a1, a2, a3 in _norm_p_quadruples(p):
+        matrix = (
+            (a0 + i_unit * a1) * scale % q,
+            (a2 + i_unit * a3) * scale % q,
+            (-a2 + i_unit * a3) * scale % q,
+            (a0 - i_unit * a1) * scale % q,
+        )
+        generators.append(_psl_canonical(matrix, q))
+    generators = sorted(set(generators))
+    if len(generators) != p + 1:
+        raise RuntimeError(
+            f"expected {p + 1} LPS generators, derived {len(generators)}"
+        )
+
+    # Enumerate PSL(2, q): all (a, b, c, d) with ad − bc = 1, modulo ±I.
+    elements: dict[tuple[int, int, int, int], int] = {}
+    order = []
+    for a in range(q):
+        for b in range(q):
+            for c in range(q):
+                if a != 0:
+                    d = (1 + b * c) * pow(a, q - 2, q) % q
+                    candidates = ((a, b, c, d),)
+                elif b != 0:
+                    c_val = (q - pow(b, q - 2, q)) % q
+                    if c != c_val:
+                        continue
+                    candidates = tuple((0, b, c_val, d) for d in range(q))
+                else:
+                    continue
+                for m in candidates:
+                    canon = _psl_canonical(m, q)
+                    if canon not in elements:
+                        elements[canon] = len(order)
+                        order.append(canon)
+    n = lps_vertex_count(q)
+    if len(order) != n:
+        raise RuntimeError(f"PSL(2,{q}) enumeration found {len(order)} != {n}")
+
+    edges = []
+    for g in order:
+        gid = elements[g]
+        for s in generators:
+            h = _psl_canonical(_mat_mul(g, s, q), q)
+            edges.append((gid, elements[h]))
+    graph = Graph.from_edges(n, edges, name=f"LPS({p},{q})")
+    _CACHE[key] = graph
+    return graph

@@ -1,0 +1,20 @@
+"""Executable constructions behind the Theorem 13 lower bound
+``Ω(t + log n)`` for consensus/gossip/checkpointing in the single-port
+model."""
+
+from repro.lowerbounds.divergence import (
+    DivergenceReport,
+    divergence_series,
+    find_pivotal_index,
+    staircase,
+)
+from repro.lowerbounds.gossip_adversary import IsolationReport, isolation_report
+
+__all__ = [
+    "DivergenceReport",
+    "IsolationReport",
+    "divergence_series",
+    "find_pivotal_index",
+    "isolation_report",
+    "staircase",
+]

@@ -1,0 +1,174 @@
+"""Crash and Byzantine adversaries.
+
+The paper's fault model (Section 2): an adversary crashes at most ``t``
+nodes; a node that crashes at a round stops all activity in following
+rounds.  Within its crash round a node may manage a *partial send* --
+only a subset of the messages it attempted to send are delivered.  This
+is the classical synchronous crash model and is what makes flooding-style
+arguments non-trivial.
+
+Byzantine nodes (Section 7) are modelled by swapping the node's process
+for an arbitrary behaviour; see :class:`ByzantineProcess`.  They are
+never "crashed" by a :class:`CrashAdversary` -- the fault budget is
+spent by the caller when selecting the Byzantine set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, NamedTuple, Optional
+
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Engine
+
+__all__ = [
+    "ByzantineProcess",
+    "CrashAdversary",
+    "CrashSpec",
+    "NoFailures",
+    "ScheduledCrashes",
+    "crash_schedule",
+]
+
+
+class CrashSpec(NamedTuple):
+    """When and how a node crashes.
+
+    ``keep`` controls the partial send in the crash round: ``None``
+    delivers every message the node attempted that round (crash takes
+    effect *after* the send phase), while an integer ``k`` delivers only
+    the first ``k`` point-to-point messages in the node's send order.
+    ``keep=0`` models a node crashing before sending anything that round.
+    """
+
+    round: int
+    keep: Optional[int] = None
+
+
+class CrashAdversary:
+    """Base class; a no-failure adversary by default.
+
+    Subclasses override :meth:`crashes_for_round` (and, for adaptive
+    strategies, may inspect the live engine) and
+    :meth:`next_event_round` so the engine's fast-forward does not skip
+    over scheduled crashes.
+    """
+
+    def crashes_for_round(self, rnd: int, engine: "Engine") -> dict[int, Optional[int]]:
+        """Map of pid -> ``keep`` for nodes crashing at round ``rnd``."""
+        return {}
+
+    def next_event_round(self, rnd: int) -> Optional[int]:
+        """Earliest round after ``rnd`` with a scheduled crash, if known.
+
+        Adaptive adversaries that cannot pre-commit should return
+        ``rnd + 1`` to disable fast-forwarding entirely.
+        """
+        return None
+
+    def total_budget(self) -> int:
+        """Number of crashes this adversary may inject (for sanity checks)."""
+        return 0
+
+
+class NoFailures(CrashAdversary):
+    """The failure-free adversary."""
+
+
+class ScheduledCrashes(CrashAdversary):
+    """An oblivious adversary committed to a fixed crash schedule."""
+
+    def __init__(self, schedule: dict[int, CrashSpec]):
+        self.schedule = dict(schedule)
+        self._by_round: dict[int, dict[int, Optional[int]]] = {}
+        for pid, spec in self.schedule.items():
+            self._by_round.setdefault(spec.round, {})[pid] = spec.keep
+        self._event_rounds = sorted(self._by_round)
+
+    def crashes_for_round(self, rnd: int, engine: "Engine") -> dict[int, Optional[int]]:
+        return self._by_round.get(rnd, {})
+
+    def next_event_round(self, rnd: int) -> Optional[int]:
+        for event in self._event_rounds:
+            if event > rnd:
+                return event
+        return None
+
+    def total_budget(self) -> int:
+        return len(self.schedule)
+
+
+def crash_schedule(
+    n: int,
+    t: int,
+    *,
+    seed: int = 0,
+    kind: str = "random",
+    max_round: int = 64,
+    partial: bool = True,
+    victims: Optional[Iterable[int]] = None,
+) -> ScheduledCrashes:
+    """Build a :class:`ScheduledCrashes` adversary for ``t`` crashes.
+
+    Parameters
+    ----------
+    kind:
+        ``"random"`` -- victims and crash rounds uniform over
+        ``[0, max_round)``;
+        ``"early"`` -- all crashes in round 0 (tests the "crashed before
+        sending any message" clauses of gossip/checkpointing);
+        ``"late"`` -- all crashes in the last quarter of ``max_round``;
+        ``"staggered"`` -- one crash per round starting at round 0, the
+        classical worst case for early-stopping consensus.
+    partial:
+        When true, each crashing node delivers a random prefix of its
+        final-round sends (partial send); otherwise crash takes effect
+        after a complete send phase.
+    victims:
+        Optional explicit victim pool to draw from (e.g. little nodes).
+    """
+    rng = random.Random(seed)
+    pool = list(victims) if victims is not None else list(range(n))
+    if t > len(pool):
+        raise ValueError(f"cannot crash {t} nodes out of a pool of {len(pool)}")
+    chosen = rng.sample(pool, t)
+    schedule: dict[int, CrashSpec] = {}
+    for index, pid in enumerate(chosen):
+        if kind == "random":
+            rnd = rng.randrange(max_round)
+        elif kind == "early":
+            rnd = 0
+        elif kind == "late":
+            rnd = max(0, max_round - 1 - rng.randrange(max(1, max_round // 4)))
+        elif kind == "staggered":
+            rnd = min(index, max_round - 1)
+        else:
+            raise ValueError(f"unknown crash schedule kind {kind!r}")
+        # ``keep`` counts point-to-point messages; protocols here send at
+        # most a few multicasts per round, so a small random prefix makes
+        # genuinely partial deliveries.
+        keep = rng.randrange(0, 4) if partial else None
+        schedule[pid] = CrashSpec(round=rnd, keep=keep)
+    return ScheduledCrashes(schedule)
+
+
+class ByzantineProcess(Process):
+    """Base class for Byzantine behaviours (authenticated model).
+
+    A Byzantine node "may undergo arbitrary state transitions but it
+    cannot forge messages claiming that they are forwarded from other
+    nodes" -- unforgeability is enforced by the signature substrate
+    (:mod:`repro.auth.signatures`): the behaviour only ever holds its own
+    signing capability.
+
+    Byzantine processes never halt voluntarily (the engine excludes them
+    from the termination condition) and their traffic is excluded from
+    the headline message counts.
+    """
+
+    is_byzantine = True
+
+    def on_start(self) -> None:  # pragma: no cover - trivial default
+        pass

@@ -1,0 +1,304 @@
+"""Synchronous multi-port lock-step engine (the model of Section 2).
+
+Round structure
+---------------
+Each round ``r`` consists of:
+
+1. **crash phase** -- the adversary nominates nodes crashing at ``r``;
+2. **send phase** -- every operational, non-halted process is asked for
+   its outgoing messages; a node crashing this round delivers only the
+   prefix of its sends allowed by its :class:`~repro.sim.adversary.CrashSpec`;
+3. **receive phase** -- all surviving messages are delivered ("during a
+   round, all messages sent to a node in this round get delivered") and
+   every operational, non-halted process consumes its (possibly empty)
+   inbox.
+
+Termination: the run ends when every operational non-Byzantine process
+has halted; the round count reported is the number of rounds that
+occurred until then, matching the paper's running-time metric.
+
+Fast-forward
+------------
+Executions of the paper's algorithms contain long quiescent stretches
+(e.g. Part 1 of Many-Crashes-Consensus runs ``n - 1`` rounds but floods
+quiesce after the diameter).  When a round delivers no messages, every
+process declares its next spontaneous activity via
+:meth:`~repro.sim.process.Process.next_activity`, and the engine jumps
+directly to the earliest such round (or the next scheduled crash).  This
+is purely a simulator-cost optimisation; protocols are written against
+absolute round numbers so observable behaviour is identical (covered by
+tests comparing fast-forward on/off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.sim.adversary import CrashAdversary, NoFailures
+from repro.sim.metrics import Metrics
+from repro.sim.process import Multicast, Process, ProtocolError, payload_bits
+
+__all__ = ["Engine", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    processes: Sequence[Process]
+    metrics: Metrics
+    crashed: set[int]
+    byzantine: frozenset[int]
+    completed: bool
+    #: pid -> decision for processes that decided (crashed nodes that
+    #: decided before crashing are included; callers filter as needed)
+    decisions: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def bits(self) -> int:
+        return self.metrics.bits
+
+    def correct_pids(self) -> list[int]:
+        """Processes that are neither crashed nor Byzantine."""
+        return [
+            p.pid
+            for p in self.processes
+            if p.pid not in self.crashed and p.pid not in self.byzantine
+        ]
+
+    def correct_decisions(self) -> dict[int, Any]:
+        """Decisions of non-faulty processes only."""
+        return {
+            pid: value
+            for pid, value in self.decisions.items()
+            if pid not in self.crashed and pid not in self.byzantine
+        }
+
+
+class Engine:
+    """Multi-port synchronous engine.
+
+    Parameters
+    ----------
+    processes:
+        One :class:`Process` per pid, index ``i`` holding pid ``i``.
+    adversary:
+        A :class:`CrashAdversary`; defaults to no failures.
+    byzantine:
+        Pids whose processes implement Byzantine behaviours.  Their
+        traffic is excluded from the message/bit counts and they are
+        exempt from the termination condition.
+    max_rounds:
+        Safety bound; exceeding it marks the run as not completed.
+    fast_forward:
+        Enable quiescence skipping (see module docstring).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        adversary: Optional[CrashAdversary] = None,
+        *,
+        byzantine: frozenset[int] = frozenset(),
+        max_rounds: int = 100_000,
+        fast_forward: bool = True,
+    ):
+        for index, proc in enumerate(processes):
+            if proc.pid != index:
+                raise ProtocolError(
+                    f"process at index {index} has pid {proc.pid}; "
+                    "processes must be listed in pid order"
+                )
+        self.processes = list(processes)
+        self.n = len(processes)
+        self.adversary = adversary if adversary is not None else NoFailures()
+        self.byzantine = frozenset(byzantine)
+        self.max_rounds = max_rounds
+        self.fast_forward = fast_forward
+        self.metrics = Metrics()
+        self.crashed: set[int] = set()
+        self.round: int = 0
+
+    # -- queries used by adaptive adversaries ---------------------------
+
+    def operational(self, pid: int) -> bool:
+        """Whether ``pid`` has not crashed."""
+        return pid not in self.crashed
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self, observer=None) -> RunResult:
+        """Execute to completion.
+
+        ``observer(rnd, processes)``, when given, is invoked after every
+        executed round's receive phase (used by the Theorem 13
+        lower-bound machinery to compare states across executions);
+        passing an observer disables fast-forward so every round is
+        observed.
+        """
+        if observer is not None:
+            self.fast_forward = False
+        for proc in self.processes:
+            proc.on_start()
+
+        rnd = 0
+        completed = False
+        last_active_round = -1
+        while rnd < self.max_rounds:
+            self.round = rnd
+
+            # Crash phase: nodes crashing at this round.
+            crashing = self.adversary.crashes_for_round(rnd, self)
+            for pid in crashing:
+                if pid in self.byzantine:
+                    raise ProtocolError(
+                        f"adversary attempted to crash Byzantine node {pid}"
+                    )
+
+            # Send phase.
+            inboxes: dict[int, list[tuple[int, Any]]] = {}
+            delivered_any = False
+            for proc in self.processes:
+                pid = proc.pid
+                if pid in self.crashed or proc.halted:
+                    continue
+                keep: Optional[int] = None
+                crashes_now = pid in crashing
+                if crashes_now:
+                    keep = crashing[pid]
+                sent = self._collect_sends(proc, rnd, keep)
+                if crashes_now:
+                    self.crashed.add(pid)
+                if not sent:
+                    continue
+                counted = pid not in self.byzantine
+                for dsts, payload in sent:
+                    bits_each = payload_bits(payload)
+                    self.metrics.record_send(
+                        pid, len(dsts), bits_each * len(dsts), rnd, counted
+                    )
+                    for dst in dsts:
+                        inboxes.setdefault(dst, []).append((pid, payload))
+                        delivered_any = True
+
+            # Receive phase.
+            for proc in self.processes:
+                pid = proc.pid
+                if pid in self.crashed or proc.halted:
+                    continue
+                proc.receive(rnd, inboxes.get(pid, []))
+
+            if delivered_any:
+                last_active_round = rnd
+
+            if observer is not None:
+                observer(rnd, self.processes)
+
+            # Termination check: all operational non-Byzantine halted.
+            if self._all_halted():
+                self.metrics.rounds = rnd + 1
+                completed = True
+                break
+
+            rnd = self._advance(rnd, delivered_any)
+        else:
+            self.metrics.rounds = self.max_rounds
+
+        if not completed:
+            # Either max_rounds was hit, or every process crashed.
+            if all(
+                proc.pid in self.crashed or proc.pid in self.byzantine
+                for proc in self.processes
+            ):
+                completed = True
+                self.metrics.rounds = max(last_active_round + 1, 0)
+
+        result = RunResult(
+            processes=self.processes,
+            metrics=self.metrics,
+            crashed=set(self.crashed),
+            byzantine=self.byzantine,
+            completed=completed,
+        )
+        for proc in self.processes:
+            if proc.decided:
+                result.decisions[proc.pid] = proc.decision
+        return result
+
+    # -- internals --------------------------------------------------------
+
+    def _collect_sends(
+        self, proc: Process, rnd: int, keep: Optional[int]
+    ) -> list[tuple[tuple[int, ...], Any]]:
+        """Normalise a process's sends, applying a partial-send budget.
+
+        Returns a list of ``(destinations, payload)`` groups.  ``keep``
+        (when not ``None``) limits the total number of point-to-point
+        messages delivered, truncating in the node's own send order --
+        this realises the crash-round partial send.
+        """
+        groups: list[tuple[tuple[int, ...], Any]] = []
+        remaining = keep
+        for item in proc.send(rnd):
+            if remaining is not None and remaining <= 0:
+                break
+            if isinstance(item, Multicast):
+                dsts, payload = item.dsts, item.payload
+            else:
+                dst, payload = item
+                dsts = (dst,)
+            for dst in dsts:
+                if not (0 <= dst < self.n):
+                    raise ProtocolError(
+                        f"process {proc.pid} sent to invalid pid {dst}"
+                    )
+            if remaining is not None and len(dsts) > remaining:
+                dsts = tuple(dsts[:remaining])
+            if dsts:
+                groups.append((dsts, payload))
+                if remaining is not None:
+                    remaining -= len(dsts)
+        return groups
+
+    def _all_halted(self) -> bool:
+        for proc in self.processes:
+            pid = proc.pid
+            if pid in self.crashed or pid in self.byzantine:
+                continue
+            if not proc.halted:
+                return False
+        return True
+
+    def _advance(self, rnd: int, delivered_any: bool) -> int:
+        """Compute the next round index, fast-forwarding when quiescent."""
+        if not self.fast_forward or delivered_any:
+            return rnd + 1
+        # No deliveries this round: nothing can be triggered at rnd + 1,
+        # so jump to the earliest spontaneous activity or crash event.
+        horizon = self.max_rounds
+        nxt = horizon
+        for proc in self.processes:
+            pid = proc.pid
+            if pid in self.crashed or proc.halted:
+                continue
+            wake = proc.next_activity(rnd)
+            if wake <= rnd:
+                raise ProtocolError(
+                    f"process {pid} declared next_activity {wake} <= {rnd}"
+                )
+            nxt = min(nxt, wake)
+            if nxt == rnd + 1:
+                return rnd + 1
+        crash_event = self.adversary.next_event_round(rnd)
+        if crash_event is not None:
+            nxt = min(nxt, max(crash_event, rnd + 1))
+        return max(rnd + 1, nxt)

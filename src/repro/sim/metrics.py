@@ -1,0 +1,70 @@
+"""Accounting of the paper's performance metrics.
+
+The paper measures two quantities (Section 2):
+
+* *running time* -- the number of rounds until all non-faulty nodes have
+  halted, and
+* *communication* -- either the number of point-to-point messages or the
+  total number of bits in those messages.
+
+For Byzantine executions only messages sent by non-faulty nodes are
+counted, "as Byzantine nodes could flood the system with an arbitrary
+number of messages".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Mutable tally of rounds, messages and bits for one execution."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    per_node_messages: Counter = field(default_factory=Counter)
+    per_node_bits: Counter = field(default_factory=Counter)
+    #: messages recorded per round index, used by experiment plots
+    per_round_messages: Counter = field(default_factory=Counter)
+    #: messages from faulty (Byzantine) nodes; tracked but excluded from
+    #: ``messages``/``bits``
+    faulty_messages: int = 0
+
+    def record_send(
+        self, src: int, count: int, bits: int, rnd: int, counted: bool = True
+    ) -> None:
+        """Record ``count`` messages totalling ``bits`` payload bits.
+
+        ``counted=False`` marks traffic from Byzantine senders, which is
+        tracked separately and excluded from the headline totals.
+        """
+        if not counted:
+            self.faulty_messages += count
+            return
+        self.messages += count
+        self.bits += bits
+        self.per_node_messages[src] += count
+        self.per_node_bits[src] += bits
+        self.per_round_messages[rnd] += count
+
+    @property
+    def max_node_messages(self) -> int:
+        """Largest per-node message count (load balance indicator)."""
+        if not self.per_node_messages:
+            return 0
+        return max(self.per_node_messages.values())
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot convenient for tables and benchmarks."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "max_node_messages": self.max_node_messages,
+            "faulty_messages": self.faulty_messages,
+        }

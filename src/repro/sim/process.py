@@ -1,0 +1,208 @@
+"""Process model for the synchronous message-passing simulator.
+
+The simulator follows the model of Section 2 of the paper: execution
+proceeds in lock-step rounds; in each round every operational process may
+send messages (multi-port: to any set of recipients), and every message
+sent in a round is delivered within that round.
+
+A protocol is implemented by subclassing :class:`Process` and overriding
+
+* :meth:`Process.on_start` -- one-time initialisation before round 0,
+* :meth:`Process.send` -- return the messages to transmit this round,
+* :meth:`Process.receive` -- consume the messages delivered this round.
+
+Processes are *round-schedule state machines*: all timing decisions must
+be made against the absolute round number passed to ``send``/``receive``
+so that the engine's quiescence fast-forward (skipping rounds in which no
+process is active) never changes observable behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, NamedTuple
+
+__all__ = [
+    "Multicast",
+    "Process",
+    "ProtocolError",
+    "payload_bits",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Raised when a protocol violates the simulator's contract."""
+
+
+class Multicast(NamedTuple):
+    """A message sent to many destinations in one send action.
+
+    The engine expands a multicast into one point-to-point message per
+    destination for accounting purposes (the paper's multi-port model
+    charges per point-to-point message), but avoids materialising one
+    envelope object per recipient.
+    """
+
+    dsts: tuple[int, ...]
+    payload: Any
+
+
+# Per-element overhead charged for structured payloads, in bits.  This
+# models the encoding of field separators / lengths; the paper's message
+# sizes are asymptotic so any small constant works.
+_CONTAINER_ELEMENT_OVERHEAD = 1
+
+
+def payload_bits(payload: Any) -> int:
+    """Number of bits charged for transmitting ``payload``.
+
+    The accounting is deliberately simple and deterministic:
+
+    * ``None`` and ``bool`` cost one bit (the paper's algorithms exchange
+      one-bit rumors; ``None`` models an empty/flag message),
+    * ``int`` costs its binary length (so an ``n``-instance bitmask used
+      by the vectorised checkpointing consensus costs ``n`` bits),
+    * strings and bytes cost eight bits per character/byte,
+    * containers cost the sum of their elements plus one bit per element,
+    * objects exposing ``bits_size()`` (e.g. signatures, extant sets)
+      report their own size.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length())
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * max(1, len(payload))
+    if isinstance(payload, bytes):
+        return 8 * max(1, len(payload))
+    size_fn = getattr(payload, "bits_size", None)
+    if size_fn is not None:
+        return max(1, int(size_fn()))
+    if isinstance(payload, dict):
+        total = 0
+        for key, value in payload.items():
+            total += payload_bits(key) + payload_bits(value)
+            total += _CONTAINER_ELEMENT_OVERHEAD
+        return max(1, total)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        total = 0
+        for item in payload:
+            total += payload_bits(item) + _CONTAINER_ELEMENT_OVERHEAD
+        return max(1, total)
+    raise TypeError(f"cannot account bits for payload type {type(payload)!r}")
+
+
+class Process:
+    """Base class for protocol participants.
+
+    Attributes
+    ----------
+    pid:
+        The process name, an integer in ``[0, n)``.  The paper names
+        nodes ``1..n``; we use zero-based names throughout.
+    n:
+        Total number of processes in the system.
+    halted:
+        Set by the protocol (via :meth:`halt`) once the process has
+        finished; a halted process neither sends nor receives.  Halting
+        is voluntary and distinct from crashing.
+    decision:
+        The decided value, or ``None`` while undecided.  Assigning a
+        decision is irrevocable (enforced by :meth:`decide`).
+    """
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.n = n
+        self.halted = False
+        self.decision: Any = None
+        self._decided = False
+
+    # -- protocol hooks ------------------------------------------------
+
+    def on_start(self) -> None:
+        """One-time initialisation invoked before round 0."""
+
+    def send(self, rnd: int) -> Iterable[Any]:
+        """Return messages to transmit in round ``rnd``.
+
+        Each item is either a ``(dst, payload)`` tuple or a
+        :class:`Multicast`.  The default sends nothing.
+        """
+        return ()
+
+    def receive(self, rnd: int, inbox: list[tuple[int, Any]]) -> None:
+        """Consume messages delivered in round ``rnd``.
+
+        ``inbox`` holds ``(src, payload)`` pairs for every message sent
+        to this process in this round, in an arbitrary but deterministic
+        order.  Called every round (possibly with an empty inbox) so that
+        protocols such as local probing can count per-round receptions.
+        """
+
+    def next_activity(self, rnd: int) -> int:
+        """Earliest round after ``rnd`` at which this process may act
+        spontaneously (send without having received anything).
+
+        The engine fast-forwards over rounds in which no process is
+        active and no messages are in flight.  The default, ``rnd + 1``,
+        disables fast-forwarding; schedule-driven protocols override this
+        with the next boundary of their round schedule.
+        """
+        return rnd + 1
+
+    # -- helpers --------------------------------------------------------
+
+    def decide(self, value: Any) -> None:
+        """Irrevocably decide on ``value``.
+
+        Deciding twice with a different value raises
+        :class:`ProtocolError`; deciding twice with the same value is a
+        no-op (several of the paper's algorithms re-announce decisions).
+        """
+        if self._decided:
+            if self.decision != value:
+                raise ProtocolError(
+                    f"process {self.pid} attempted to change its decision "
+                    f"from {self.decision!r} to {value!r}"
+                )
+            return
+        self.decision = value
+        self._decided = True
+
+    @property
+    def decided(self) -> bool:
+        """Whether this process has decided."""
+        return self._decided
+
+    def halt(self) -> None:
+        """Voluntarily halt; the process takes no further actions."""
+        self.halted = True
+
+    def state_digest(self) -> tuple:
+        """A hashable digest of the process state.
+
+        Used by the lower-bound machinery (Theorem 13) to compare the
+        states of one process across two executions.  The default digest
+        covers the full instance dictionary; protocols with caches or
+        other execution-irrelevant state should override this.
+        """
+        items = []
+        for key in sorted(self.__dict__):
+            if key.startswith("_cache"):
+                continue
+            value = self.__dict__[key]
+            items.append((key, _freeze(value)))
+        return tuple(items)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert ``value`` into a hashable representation."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value

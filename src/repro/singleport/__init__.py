@@ -1,0 +1,14 @@
+"""Single-port adaptations (Section 8, Theorem 12)."""
+
+from repro.singleport.linear_consensus import (
+    LinearConsensusProcess,
+    linear_consensus_schedule,
+)
+from repro.singleport.transformer import Segment, WindowSchedule
+
+__all__ = [
+    "LinearConsensusProcess",
+    "Segment",
+    "WindowSchedule",
+    "linear_consensus_schedule",
+]

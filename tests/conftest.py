@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite.
+
+Overlay graphs are memoised inside :mod:`repro.graphs`, so repeated
+parameterised tests with the same ``(n, t, seed)`` are cheap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def make_params(n: int, t: int, seed: int = 3) -> ProtocolParams:
+    return ProtocolParams(n=n, t=t, seed=seed)
+
+
+def random_bits(n: int, seed: int) -> list[int]:
+    gen = random.Random(seed)
+    return [gen.randint(0, 1) for _ in range(n)]

@@ -1,0 +1,92 @@
+"""Tests for the adaptive crash adversaries and the algorithms' behavior
+under them."""
+
+import pytest
+
+from repro import check_aea, check_consensus, run_aea, run_consensus
+from repro.core.aea import aea_overlay
+from repro.core.params import ProtocolParams
+from repro.sim.adaptive import (
+    CrashDecidersAdversary,
+    NeighborhoodStarver,
+    StaggeredCommitteeAdversary,
+)
+from tests.conftest import random_bits
+
+
+class TestNeighborhoodStarver:
+    def test_starved_node_pauses_rest_meets_spec(self):
+        n, t = 200, 35
+        params = ProtocolParams(n=n, t=t, seed=3)
+        graph = aea_overlay(params)
+        adversary = NeighborhoodStarver(
+            graph.neighbors(0), at_round=params.little_flood_rounds - 1, budget=t
+        )
+        inputs = random_bits(n, 1)
+        result = run_aea(inputs, t, crashes=adversary, overlay_seed=3)
+        check_aea(result, inputs)
+        assert 0 not in result.correct_decisions()
+
+    def test_budget_respected(self):
+        adversary = NeighborhoodStarver(range(100), at_round=0, budget=7)
+        assert adversary.total_budget() == 7
+
+    def test_consensus_still_terminates(self):
+        n, t = 200, 35
+        params = ProtocolParams(n=n, t=t, seed=3)
+        graph = aea_overlay(params)
+        adversary = NeighborhoodStarver(
+            graph.neighbors(1), at_round=params.little_flood_rounds, budget=t
+        )
+        inputs = random_bits(n, 2)
+        result = run_consensus(
+            inputs, t, algorithm="few", crashes=adversary, overlay_seed=3
+        )
+        check_consensus(result, inputs)
+
+
+class TestStaggeredCommittee:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_one_crash_per_round_with_partial_sends(self, seed):
+        n, t = 120, 20
+        params = ProtocolParams(n=n, t=t, seed=0)
+        adversary = StaggeredCommitteeAdversary(params.little_count, budget=t)
+        inputs = random_bits(n, seed)
+        result = run_consensus(inputs, t, algorithm="few", crashes=adversary)
+        check_consensus(result, inputs)
+        assert len(result.crashed) == t  # the budget is fully spent
+
+    def test_crashes_target_committee(self):
+        n, t = 120, 20
+        params = ProtocolParams(n=n, t=t, seed=0)
+        adversary = StaggeredCommitteeAdversary(params.little_count, budget=t)
+        inputs = random_bits(n, 5)
+        result = run_consensus(inputs, t, algorithm="few", crashes=adversary)
+        assert all(pid < params.little_count for pid in result.crashed)
+
+
+class TestCrashDeciders:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_killing_deciders_cannot_block_consensus(self, seed):
+        n, t = 80, 40
+        adversary = CrashDecidersAdversary(budget=t, per_round=3)
+        inputs = random_bits(n, seed)
+        result = run_consensus(inputs, t, algorithm="many", crashes=adversary)
+        check_consensus(result, inputs)
+
+    def test_spared_nodes_never_crashed(self):
+        n, t = 80, 40
+        spare = {0, 1, 2, 3}
+        adversary = CrashDecidersAdversary(budget=t, per_round=3, spare=spare)
+        inputs = random_bits(n, 7)
+        result = run_consensus(inputs, t, algorithm="many", crashes=adversary)
+        check_consensus(result, inputs)
+        assert result.crashed.isdisjoint(spare)
+
+    def test_budget_bounded(self):
+        n, t = 80, 10
+        adversary = CrashDecidersAdversary(budget=t, per_round=5)
+        inputs = random_bits(n, 8)
+        result = run_consensus(inputs, t, algorithm="many", crashes=adversary)
+        check_consensus(result, inputs)
+        assert len(result.crashed) <= t

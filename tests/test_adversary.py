@@ -1,0 +1,76 @@
+"""Unit tests for crash schedules and adversary plumbing."""
+
+import pytest
+
+from repro.sim.adversary import CrashSpec, NoFailures, ScheduledCrashes, crash_schedule
+
+
+class TestScheduledCrashes:
+    def test_crashes_grouped_by_round(self):
+        adversary = ScheduledCrashes(
+            {3: CrashSpec(5, 0), 4: CrashSpec(5, 2), 7: CrashSpec(9, None)}
+        )
+        assert adversary.crashes_for_round(5, None) == {3: 0, 4: 2}
+        assert adversary.crashes_for_round(9, None) == {7: None}
+        assert adversary.crashes_for_round(6, None) == {}
+
+    def test_next_event_round(self):
+        adversary = ScheduledCrashes({1: CrashSpec(4, 0), 2: CrashSpec(10, 0)})
+        assert adversary.next_event_round(0) == 4
+        assert adversary.next_event_round(4) == 10
+        assert adversary.next_event_round(10) is None
+
+    def test_budget(self):
+        adversary = ScheduledCrashes({i: CrashSpec(0, 0) for i in range(7)})
+        assert adversary.total_budget() == 7
+
+    def test_no_failures(self):
+        adversary = NoFailures()
+        assert adversary.crashes_for_round(0, None) == {}
+        assert adversary.next_event_round(0) is None
+
+
+class TestCrashScheduleFactory:
+    def test_exact_count(self):
+        adversary = crash_schedule(50, 10, seed=1, max_round=20)
+        assert adversary.total_budget() == 10
+
+    def test_deterministic_for_seed(self):
+        first = crash_schedule(50, 10, seed=5, max_round=20)
+        second = crash_schedule(50, 10, seed=5, max_round=20)
+        assert first.schedule == second.schedule
+
+    def test_different_seeds_differ(self):
+        first = crash_schedule(50, 10, seed=5, max_round=20)
+        second = crash_schedule(50, 10, seed=6, max_round=20)
+        assert first.schedule != second.schedule
+
+    def test_early_kind_all_round_zero(self):
+        adversary = crash_schedule(40, 8, seed=2, kind="early", max_round=30)
+        assert all(spec.round == 0 for spec in adversary.schedule.values())
+
+    def test_late_kind_in_last_quarter(self):
+        adversary = crash_schedule(40, 8, seed=2, kind="late", max_round=100)
+        assert all(spec.round >= 74 for spec in adversary.schedule.values())
+
+    def test_staggered_kind_one_per_round(self):
+        adversary = crash_schedule(40, 8, seed=2, kind="staggered", max_round=100)
+        rounds = sorted(spec.round for spec in adversary.schedule.values())
+        assert rounds == list(range(8))
+
+    def test_victim_pool_respected(self):
+        pool = list(range(10))
+        adversary = crash_schedule(100, 5, seed=0, victims=pool, max_round=10)
+        assert set(adversary.schedule) <= set(pool)
+
+    def test_overdrawn_pool_rejected(self):
+        with pytest.raises(ValueError):
+            crash_schedule(100, 5, victims=[1, 2], max_round=10)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            crash_schedule(10, 2, kind="sideways", max_round=10)
+
+    def test_partial_false_keeps_full_sends(self):
+        adversary = crash_schedule(40, 8, seed=2, partial=False, max_round=10)
+        assert all(spec.keep is None for spec in adversary.schedule.values())

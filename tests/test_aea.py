@@ -1,0 +1,102 @@
+"""Integration tests for Almost-Everywhere-Agreement (Fig. 1, Thm. 5)."""
+
+import pytest
+
+from repro import check_aea, run_aea
+from repro.core.aea import AEAProcess, aea_overlay
+from repro.core.params import ProtocolParams
+from repro.sim import Engine, crash_schedule
+from tests.conftest import random_bits
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("kind", ["random", "early", "late", "staggered"])
+    def test_aea_spec_under_crashes(self, seed, kind):
+        n, t = 100, 15
+        inputs = random_bits(n, seed)
+        result = run_aea(inputs, t, crashes=kind, seed=seed)
+        check_aea(result, inputs)
+
+    def test_all_zero_inputs_decide_zero(self):
+        n, t = 80, 12
+        result = run_aea([0] * n, t, crashes="random", seed=1)
+        check_aea(result, [0] * n)
+        values = set(result.correct_decisions().values())
+        assert values <= {0}
+
+    def test_all_one_inputs_decide_one(self):
+        n, t = 80, 12
+        result = run_aea([1] * n, t, crashes="random", seed=1)
+        values = set(result.correct_decisions().values())
+        assert values == {1}
+
+    def test_failure_free_everyone_decides(self):
+        n, t = 80, 12
+        inputs = random_bits(n, 3)
+        result = run_aea(inputs, t, crashes=None)
+        decisions = result.correct_decisions()
+        assert len(decisions) == n
+        check_aea(result, inputs)
+
+    def test_crashing_all_little_neighbors_of_one_node(self):
+        # Adversarially isolate little node 0 in the committee overlay:
+        # it must pause (not decide), but the rest still meet the spec.
+        n, t = 200, 35
+        params = ProtocolParams(n=n, t=t, seed=3)
+        graph = aea_overlay(params)
+        victims = list(graph.neighbors(0))
+        assert len(victims) <= t
+        inputs = random_bits(n, 5)
+        adversary = crash_schedule(
+            n, len(victims), seed=0, kind="early", victims=victims, max_round=5
+        )
+        processes = [AEAProcess(pid, params, inputs[pid], graph) for pid in range(n)]
+        result = Engine(processes, adversary).run()
+        check_aea(result, inputs)
+        assert 0 not in result.correct_decisions()
+
+
+class TestPerformanceShape:
+    def test_rounds_linear_in_t(self):
+        # Theorem 5: O(t) rounds.  The schedule is 5t - 1 + (2 + lg 5t) + 1.
+        n = 200
+        for t in (10, 20, 35):
+            params = ProtocolParams(n=n, t=t)
+            result = run_aea(random_bits(n, 1), t, crashes=None)
+            bound = params.little_flood_rounds + params.little_probe_rounds + 2
+            assert result.rounds <= bound
+
+    def test_message_bound_shape(self):
+        # O(n) + committee probing O(t log t · d): messages divided by
+        # the bound should stay below a constant across sizes.
+        ratios = []
+        for n in (100, 200, 400):
+            t = n // 10
+            params = ProtocolParams(n=n, t=t)
+            result = run_aea(random_bits(n, 2), t, crashes="random", seed=2)
+            bound = n + (
+                params.little_count
+                * params.little_degree
+                * (params.little_probe_rounds + 1)
+            )
+            ratios.append(result.messages / bound)
+        assert max(ratios) <= 1.5
+
+    def test_one_bit_messages(self):
+        # Every AEA message carries one bit (Theorem 5).
+        result = run_aea(random_bits(100, 1), 15, crashes="random", seed=3)
+        assert result.bits == result.messages
+
+
+class TestDegenerateSizes:
+    def test_tiny_committee_t_zero(self):
+        result = run_aea([1, 0] * 10, 0, crashes=None)
+        check_aea(result, [1, 0] * 10)
+
+    def test_little_count_equals_n(self):
+        # t close to n/5 makes everyone little.
+        n, t = 50, 9
+        inputs = random_bits(n, 7)
+        result = run_aea(inputs, t, crashes="random", seed=7)
+        check_aea(result, inputs)

@@ -1,0 +1,97 @@
+"""Tests for the top-level run_* API."""
+
+import pytest
+
+from repro import (
+    check_checkpointing,
+    check_consensus,
+    check_gossip,
+    run_ab_consensus,
+    run_checkpointing,
+    run_consensus,
+    run_gossip,
+)
+from repro.sim.adversary import CrashSpec, ScheduledCrashes
+from tests.conftest import random_bits
+
+
+class TestRunConsensus:
+    def test_auto_picks_few_below_fifth(self):
+        from repro.core.consensus import FewCrashesConsensusProcess
+
+        inputs = random_bits(100, 1)
+        result = run_consensus(inputs, 15, algorithm="auto", seed=1)
+        check_consensus(result, inputs)
+        assert isinstance(result.processes[0], FewCrashesConsensusProcess)
+
+    def test_auto_picks_many_above_fifth(self):
+        from repro.core.consensus import ManyCrashesConsensusProcess
+
+        inputs = random_bits(60, 1)
+        result = run_consensus(inputs, 30, algorithm="auto", seed=1)
+        check_consensus(result, inputs)
+        assert isinstance(result.processes[0], ManyCrashesConsensusProcess)
+
+    def test_explicit_adversary_instance(self):
+        inputs = random_bits(60, 2)
+        adversary = ScheduledCrashes({3: CrashSpec(round=2, keep=1)})
+        result = run_consensus(inputs, 9, crashes=adversary, seed=2)
+        check_consensus(result, inputs)
+        assert result.crashed == {3}
+
+    def test_no_crashes(self):
+        inputs = random_bits(60, 3)
+        result = run_consensus(inputs, 9, crashes=None)
+        check_consensus(result, inputs)
+        assert result.crashed == set()
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            run_consensus([0, 1], 0, algorithm="quantum")
+
+    def test_deterministic_given_seeds(self):
+        inputs = random_bits(80, 4)
+        first = run_consensus(inputs, 12, seed=4, overlay_seed=1)
+        second = run_consensus(inputs, 12, seed=4, overlay_seed=1)
+        assert first.correct_decisions() == second.correct_decisions()
+        assert first.messages == second.messages
+        assert first.rounds == second.rounds
+
+
+class TestRunResultSurface:
+    def test_metrics_shortcuts(self):
+        inputs = random_bits(60, 5)
+        result = run_consensus(inputs, 9, seed=5)
+        assert result.rounds == result.metrics.rounds
+        assert result.messages == result.metrics.messages
+        assert result.bits == result.metrics.bits
+        summary = result.metrics.summary()
+        assert summary["messages"] == result.messages
+
+    def test_correct_pids_excludes_crashed(self):
+        inputs = random_bits(60, 6)
+        result = run_consensus(inputs, 9, seed=6)
+        assert set(result.correct_pids()).isdisjoint(result.crashed)
+        assert len(result.correct_pids()) == 60 - len(result.crashed)
+
+
+class TestOtherEntryPoints:
+    def test_run_gossip_and_checkpointing(self):
+        rumors = [f"r{i}" for i in range(60)]
+        gossip = run_gossip(rumors, 9, seed=1)
+        check_gossip(gossip, rumors)
+        ckpt = run_checkpointing(60, 9, seed=1)
+        check_checkpointing(ckpt)
+
+    def test_run_ab_consensus_behaviour_names(self):
+        inputs = random_bits(60, 7)
+        for behaviour in ("silent", "equivocate", "spam"):
+            result = run_ab_consensus(
+                inputs, 5, byzantine=[0, 9, 33], behaviour=behaviour
+            )
+            decisions = result.correct_decisions()
+            assert len(set(decisions.values())) == 1
+
+    def test_ab_consensus_unknown_behaviour(self):
+        with pytest.raises(KeyError):
+            run_ab_consensus([0] * 20, 2, byzantine=[1], behaviour="mystery")

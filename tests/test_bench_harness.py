@@ -1,0 +1,113 @@
+"""Tests for the experiment harness (workloads, series, runner)."""
+
+import pytest
+
+from repro.bench.runner import EXPERIMENTS, format_table, run_experiment
+from repro.bench.series import exp_e6_scv, exp_e8_consensus_many, exp_e13_lowerbounds
+from repro.bench.workloads import (
+    byzantine_sample,
+    input_vector,
+    rumor_vector,
+    table1_fault_bound,
+)
+
+
+class TestWorkloads:
+    def test_input_kinds(self):
+        assert input_vector(10, "zeros") == [0] * 10
+        assert input_vector(10, "ones") == [1] * 10
+        assert sum(input_vector(10, "minority_one", 3)) == 1
+        assert input_vector(6, "alternating") == [0, 1, 0, 1, 0, 1]
+        bits = input_vector(100, "random", 5)
+        assert set(bits) <= {0, 1}
+        assert input_vector(100, "random", 5) == bits  # seeded
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            input_vector(10, "gaussian")
+
+    def test_rumors_distinct(self):
+        rumors = rumor_vector(50, 1)
+        assert len(set(rumors)) == 50
+
+    def test_byzantine_sample_size_and_range(self):
+        chosen = byzantine_sample(100, 10, seed=2)
+        assert len(chosen) == 10
+        assert all(0 <= pid < 100 for pid in chosen)
+
+    def test_byzantine_sample_biases_committee(self):
+        chosen = byzantine_sample(200, 10, seed=3, little_bias=1.0)
+        committee = max(5 * 10, 8)
+        assert all(pid < committee for pid in chosen)
+
+    def test_table1_bounds_monotone_in_n(self):
+        for problem in ("consensus", "gossip", "checkpointing", "byzantine"):
+            small = table1_fault_bound(problem, 128)
+            large = table1_fault_bound(problem, 1024)
+            assert 1 <= small <= large
+
+    def test_table1_bound_orders(self):
+        # Consensus tolerates the widest linear range; the √n Byzantine
+        # range is the narrowest asymptotically.
+        n = 4096
+        assert table1_fault_bound("gossip", n) < table1_fault_bound("consensus", n)
+        assert table1_fault_bound("byzantine", n) < table1_fault_bound("consensus", n)
+        huge = 2**24
+        assert table1_fault_bound("byzantine", huge) < table1_fault_bound("gossip", huge)
+
+    def test_table1_unknown_problem(self):
+        with pytest.raises(ValueError):
+            table1_fault_bound("leader-election", 100)
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestSeries:
+    """Small-size smoke runs of representative series builders (the
+    full sweeps run under benchmarks/)."""
+
+    def test_registry_complete(self):
+        expected = {
+            "table1",
+            "e5",
+            "e6",
+            "e7",
+            "e8",
+            "e9",
+            "e10",
+            "e11",
+            "e12",
+            "e13",
+            "baselines",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_e6_rows_cover_both_branches(self):
+        rows = exp_e6_scv(n=100)
+        branches = {row["branch"] for row in rows}
+        assert len(branches) == 2
+
+    def test_e8_rows_have_bound_ratio(self):
+        rows = exp_e8_consensus_many(n=48)
+        assert all(0 < row["rounds/bound"] <= 1.2 for row in rows)
+
+    def test_e13_rows_meet_bounds(self):
+        rows = exp_e13_lowerbounds()
+        for row in rows:
+            assert row["measured"] >= row["bound"] - 1
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("e99")

@@ -1,0 +1,104 @@
+"""Integration tests for AB-Consensus (Fig. 7, Thm. 11)."""
+
+import random
+
+import pytest
+
+from repro import run_ab_consensus
+from repro.core.params import ProtocolParams
+from tests.conftest import random_bits
+
+
+def byz_sample(n, t, seed, include_little=True):
+    rng = random.Random(seed)
+    pool = range(n) if include_little else range(5 * t, n)
+    return rng.sample(list(pool), t)
+
+
+def assert_byz_consensus(result, inputs, byzantine):
+    honest = set(range(len(inputs))) - set(byzantine)
+    decisions = result.correct_decisions()
+    assert result.completed
+    assert set(decisions) == honest, "every honest node must decide"
+    values = set(decisions.values())
+    assert len(values) == 1, f"agreement violated: {values}"
+    return values.pop()
+
+
+class TestBehaviours:
+    @pytest.mark.parametrize("behaviour", ["silent", "equivocate", "spam"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_spec_under_each_behaviour(self, behaviour, seed):
+        n, t = 80, 8
+        inputs = random_bits(n, seed)
+        byzantine = byz_sample(n, t, seed)
+        result = run_ab_consensus(
+            inputs, t, byzantine=byzantine, behaviour=behaviour, seed=seed
+        )
+        assert_byz_consensus(result, inputs, byzantine)
+
+    def test_no_byzantine_nodes(self):
+        n, t = 60, 6
+        inputs = random_bits(n, 1)
+        result = run_ab_consensus(inputs, t, byzantine=[])
+        value = assert_byz_consensus(result, inputs, [])
+        assert value in (0, 1)
+
+    def test_unanimous_honest_inputs_win(self):
+        # All honest little nodes hold 1: the max rule must return 1.
+        n, t = 60, 6
+        inputs = [1] * n
+        byzantine = byz_sample(n, t, 3)
+        result = run_ab_consensus(inputs, t, byzantine=byzantine, behaviour="silent")
+        assert assert_byz_consensus(result, inputs, byzantine) == 1
+
+    def test_all_zero_honest_inputs(self):
+        n, t = 60, 6
+        inputs = [0] * n
+        byzantine = byz_sample(n, t, 4)
+        result = run_ab_consensus(inputs, t, byzantine=byzantine, behaviour="silent")
+        assert assert_byz_consensus(result, inputs, byzantine) == 0
+
+    def test_byzantine_messages_not_counted(self):
+        n, t = 60, 6
+        inputs = random_bits(n, 2)
+        byzantine = byz_sample(n, t, 2)
+        result = run_ab_consensus(inputs, t, byzantine=byzantine, behaviour="spam")
+        assert result.metrics.faulty_messages > 0
+        # The headline count covers non-faulty senders only.
+        honest_senders = set(result.metrics.per_node_messages)
+        assert honest_senders.isdisjoint(byzantine)
+
+
+class TestValidation:
+    def test_rejects_t_at_half(self):
+        with pytest.raises(ValueError):
+            run_ab_consensus([0] * 10, 5)
+
+    def test_rejects_too_many_byzantine(self):
+        with pytest.raises(ValueError):
+            run_ab_consensus([0] * 20, 2, byzantine=[1, 2, 3])
+
+
+class TestPerformanceShape:
+    def test_rounds_linear_in_t(self):
+        # Theorem 11: O(t) rounds (the DS part dominates).
+        for t in (4, 8, 16):
+            n = 12 * t
+            inputs = random_bits(n, 1)
+            result = run_ab_consensus(inputs, t, byzantine=byz_sample(n, t, 1))
+            params = ProtocolParams(n=n, t=t)
+            bound = (t + 4) + params.scv_spread_rounds + 4
+            assert result.rounds <= bound
+
+    def test_message_quadratic_in_committee_linear_in_n(self):
+        # Theorem 11: O(t² + n) messages from non-faulty nodes.
+        rows = []
+        for t in (4, 8):
+            n = 20 * t
+            inputs = random_bits(n, 5)
+            result = run_ab_consensus(inputs, t, byzantine=byz_sample(n, t, 5))
+            m = ProtocolParams(n=n, t=t).byz_little_count
+            bound = 6 * m * m + 30 * n
+            rows.append((result.messages, bound))
+        assert all(messages <= bound for messages, bound in rows)

@@ -1,0 +1,115 @@
+"""Tests for survival subsets, dense neighborhoods and compactness
+(Section 2 definitions, Theorem 2's operator)."""
+
+import pytest
+
+from repro.graphs.compactness import (
+    compactness_profile,
+    dense_neighborhood,
+    generalized_neighborhood,
+    is_survival_subset,
+    survival_subset,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.ramanujan import certified_ramanujan_graph, paper_delta
+
+
+def path_graph(n):
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestSurvivalSubset:
+    def test_full_regular_graph_survives_small_delta(self):
+        graph = certified_ramanujan_graph(80, 8, seed=0)
+        survivors = survival_subset(graph, range(80), 4)
+        assert survivors == frozenset(range(80))
+
+    def test_path_prunes_from_the_ends(self):
+        # In a path with delta=2 the endpoints peel off iteratively and
+        # nothing survives: this is exactly the F_B fixed point.
+        graph = path_graph(10)
+        assert survival_subset(graph, range(10), 2) == frozenset()
+
+    def test_cycle_survives_delta_two(self):
+        n = 10
+        cycle = Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+        assert survival_subset(cycle, range(n), 2) == frozenset(range(n))
+
+    def test_result_is_survival_subset(self):
+        graph = certified_ramanujan_graph(60, 8, seed=2)
+        base = set(range(45))
+        survivors = survival_subset(graph, base, 3)
+        assert is_survival_subset(graph, base, survivors, 3)
+
+    def test_is_survival_subset_rejects_low_degree(self):
+        graph = path_graph(5)
+        assert not is_survival_subset(graph, range(5), {0, 1}, 2)
+
+    def test_is_survival_subset_requires_containment(self):
+        graph = path_graph(5)
+        assert not is_survival_subset(graph, {0, 1}, {0, 1, 2}, 1)
+
+    def test_removal_monotone(self):
+        # Removing vertices from B can only shrink the survival subset.
+        graph = certified_ramanujan_graph(60, 8, seed=2)
+        big = survival_subset(graph, range(60), 3)
+        small = survival_subset(graph, range(50), 3)
+        assert small <= big
+
+
+class TestGeneralizedNeighborhood:
+    def test_radius_zero_is_self(self):
+        graph = path_graph(5)
+        assert generalized_neighborhood(graph, [2], 0) == frozenset({2})
+
+    def test_radius_grows_by_hops(self):
+        graph = path_graph(7)
+        assert generalized_neighborhood(graph, [3], 1) == frozenset({2, 3, 4})
+        assert generalized_neighborhood(graph, [3], 2) == frozenset({1, 2, 3, 4, 5})
+
+    def test_multiple_sources(self):
+        graph = path_graph(7)
+        got = generalized_neighborhood(graph, [0, 6], 1)
+        assert got == frozenset({0, 1, 5, 6})
+
+
+class TestDenseNeighborhood:
+    def test_whole_expander_is_dense(self):
+        graph = certified_ramanujan_graph(64, 8, seed=0)
+        dense = dense_neighborhood(graph, 0, gamma=8, delta=4)
+        assert dense is not None
+        assert 0 in dense
+
+    def test_isolated_center_has_none(self):
+        graph = path_graph(6)
+        assert dense_neighborhood(graph, 0, gamma=2, delta=2) is None
+
+    def test_within_restriction(self):
+        graph = certified_ramanujan_graph(64, 8, seed=0)
+        # Restricting to a tiny allowed set starves the degree condition.
+        dense = dense_neighborhood(graph, 0, gamma=3, delta=6, within=range(4))
+        assert dense is None
+
+    def test_center_outside_within_is_none(self):
+        graph = path_graph(6)
+        assert dense_neighborhood(graph, 5, gamma=1, delta=1, within=[0, 1]) is None
+
+
+class TestCompactnessProfile:
+    def test_expander_profile_near_one(self):
+        # Theorem 2 predicts a 3/4 survival fraction for genuinely
+        # Ramanujan parameters; our practical overlays do much better on
+        # the sizes we simulate.
+        graph = certified_ramanujan_graph(100, 16, seed=0)
+        delta = paper_delta(16)
+        worst = compactness_profile(graph, ell=60, delta=delta, trials=10, seed=1)
+        assert worst >= 0.75
+
+    def test_sparse_graph_profile_zero(self):
+        graph = path_graph(30)
+        assert compactness_profile(graph, ell=10, delta=2, trials=5, seed=1) == 0.0
+
+    def test_invalid_ell_rejected(self):
+        graph = path_graph(10)
+        with pytest.raises(ValueError):
+            compactness_profile(graph, ell=11, delta=1)

@@ -1,0 +1,97 @@
+"""Integration tests for Few-Crashes-Consensus (Fig. 3, Thm. 7)."""
+
+import pytest
+
+from repro import check_consensus, run_consensus
+from repro.core.params import ProtocolParams
+from tests.conftest import random_bits
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_inputs_random_crashes(self, seed):
+        n, t = 100, 15
+        inputs = random_bits(n, seed)
+        result = run_consensus(inputs, t, algorithm="few", seed=seed)
+        check_consensus(result, inputs)
+
+    @pytest.mark.parametrize("kind", ["early", "late", "staggered"])
+    def test_adversary_kinds(self, kind):
+        n, t = 100, 15
+        inputs = random_bits(n, 11)
+        result = run_consensus(inputs, t, algorithm="few", crashes=kind, seed=4)
+        check_consensus(result, inputs)
+
+    def test_unanimous_zero(self):
+        n, t = 80, 12
+        result = run_consensus([0] * n, t, algorithm="few", seed=1)
+        check_consensus(result, [0] * n)
+        assert set(result.correct_decisions().values()) == {0}
+
+    def test_unanimous_one(self):
+        n, t = 80, 12
+        result = run_consensus([1] * n, t, algorithm="few", seed=1)
+        assert set(result.correct_decisions().values()) == {1}
+
+    def test_single_one_input(self):
+        # Only one node holds 1; with its possible crash either decision
+        # is valid, but agreement must hold.
+        n, t = 80, 12
+        inputs = [0] * n
+        inputs[37] = 1
+        result = run_consensus(inputs, t, algorithm="few", seed=2)
+        check_consensus(result, inputs)
+
+    def test_failure_free(self):
+        n, t = 100, 15
+        inputs = random_bits(n, 5)
+        result = run_consensus(inputs, t, algorithm="few", crashes=None)
+        check_consensus(result, inputs)
+        assert len(result.correct_decisions()) == n
+
+    def test_rejects_t_too_large(self):
+        with pytest.raises(ValueError):
+            run_consensus([0] * 20, 4, algorithm="few")
+
+
+class TestPerformanceShape:
+    def test_rounds_linear_in_t_plus_log_n(self):
+        # Theorem 7: O(t + log n) rounds.
+        for n, t in ((100, 10), (200, 20), (400, 40)):
+            inputs = random_bits(n, 1)
+            result = run_consensus(inputs, t, algorithm="few", seed=1)
+            # Generous constant: the schedule is ~5t + O(log n) rounds.
+            assert result.rounds <= 8 * t + 30 * max(1, n.bit_length())
+
+    def test_one_bit_messages(self):
+        # Theorem 7 counts one-bit messages; every payload here is 0/1.
+        result = run_consensus(random_bits(100, 3), 15, algorithm="few", seed=3)
+        assert result.bits == result.messages
+
+    def test_bit_complexity_shape(self):
+        # O(n + t log t) with the practical overlay constants: normalise
+        # by the parameterised bound and require a stable constant.
+        ratios = []
+        for n in (100, 200, 400):
+            t = n // 10
+            params = ProtocolParams(n=n, t=t)
+            inputs = random_bits(n, 2)
+            result = run_consensus(inputs, t, algorithm="few", seed=2)
+            probing = (
+                params.little_count
+                * params.little_degree
+                * (params.little_probe_rounds + 1)
+            )
+            spread = 20 * n
+            ratios.append(result.bits / (probing + spread))
+        assert max(ratios) <= 1.5
+
+    def test_fast_forward_equivalence(self):
+        # The quiescence optimisation must not change any observable.
+        inputs = random_bits(80, 9)
+        fast = run_consensus(inputs, 12, algorithm="few", seed=9, fast_forward=True)
+        slow = run_consensus(inputs, 12, algorithm="few", seed=9, fast_forward=False)
+        assert fast.rounds == slow.rounds
+        assert fast.messages == slow.messages
+        assert fast.bits == slow.bits
+        assert fast.correct_decisions() == slow.correct_decisions()

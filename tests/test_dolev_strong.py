@@ -1,0 +1,176 @@
+"""Tests for the parallel Dolev–Strong substrate (Section 7)."""
+
+from repro.auth.signatures import SignatureService
+from repro.core.dolev_strong import ParallelDolevStrong, ds_message
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import ByzantineProcess
+from repro.sim.engine import Engine
+from repro.sim.process import Multicast, Process
+
+
+class DSNode(Process):
+    """Wrapper running one ParallelDolevStrong component."""
+
+    def __init__(self, pid, params, value, service, committee=None):
+        super().__init__(pid, params.n)
+        self.ds = ParallelDolevStrong(
+            pid, params, value, 0, service, service.key_for(pid), committee=committee
+        )
+
+    def send(self, rnd):
+        return self.ds.outgoing(rnd)
+
+    def receive(self, rnd, inbox):
+        self.ds.incoming(rnd, inbox)
+        if rnd >= self.ds.cert_round:
+            self.halt()
+
+    def next_activity(self, rnd):
+        return self.ds.next_activity(rnd)
+
+
+def run_ds(n, t, values, byzantine=None, seed=0):
+    params = ProtocolParams(n=n, t=t, seed=seed)
+    service = SignatureService(n)
+    byzantine = byzantine or {}
+    processes = []
+    for pid in range(n):
+        if pid in byzantine:
+            processes.append(byzantine[pid](pid, n, params, service))
+        else:
+            processes.append(DSNode(pid, params, values[pid], service, committee=n))
+    engine = Engine(processes, byzantine=frozenset(byzantine))
+    result = engine.run()
+    return result, [p for p in processes if p.pid not in byzantine]
+
+
+class TestHonestExecutions:
+    def test_all_resolve_identically(self):
+        n, t = 12, 2
+        values = list(range(n))
+        _, honest = run_ds(n, t, values)
+        vectors = {node.ds.resolved for node in honest}
+        assert len(vectors) == 1
+        resolved = dict(vectors.pop())
+        assert resolved == {i: i for i in range(n)}
+
+    def test_certificates_fully_signed(self):
+        n, t = 10, 2
+        _, honest = run_ds(n, t, [1] * n)
+        for node in honest:
+            assert node.ds.certificate is not None
+            assert len(node.ds.certificate.signatures) == n
+
+    def test_t_zero_single_round(self):
+        n = 8
+        result, honest = run_ds(n, 0, [5] * n)
+        assert all(dict(h.ds.resolved)[0] == 5 for h in honest)
+        assert result.rounds <= 3
+
+    def test_max_value_rule(self):
+        n, t = 8, 1
+        _, honest = run_ds(n, t, [3, 9, 1, 4, 0, 2, 2, 7])
+        for node in honest:
+            assert node.ds.certificate.max_value() == 9
+
+
+class _Equivocator(ByzantineProcess):
+    """Sends value 0 to the first half, value 1 to the rest, round 0."""
+
+    def __init__(self, pid, n, params, service):
+        super().__init__(pid, n)
+        self.key = service.key_for(pid)
+
+    def send(self, rnd):
+        if rnd != 0:
+            return ()
+        others = [q for q in range(self.n) if q != self.pid]
+        half = len(others) // 2
+        out = []
+        for value, group in ((0, others[:half]), (1, others[half:])):
+            chain = (self.key.sign(ds_message(self.pid, value)),)
+            out.append(Multicast(tuple(group), ((self.pid, value, chain),)))
+        return out
+
+    def next_activity(self, rnd):
+        return rnd + 1 if rnd < 1 else rnd + 10_000
+
+
+class _Forger(ByzantineProcess):
+    """Relays a value for an honest instance with a fabricated chain."""
+
+    def __init__(self, pid, n, params, service):
+        super().__init__(pid, n)
+        self.key = service.key_for(pid)
+
+    def send(self, rnd):
+        if rnd != 1:
+            return ()
+        # Claim instance 0 (an honest source) said 99; the chain lacks a
+        # valid source signature so it must be rejected.
+        chain = (self.key.sign(ds_message(0, 99)),)
+        targets = tuple(q for q in range(self.n) if q != self.pid)
+        return [Multicast(targets, ((0, 99, chain),))]
+
+    def next_activity(self, rnd):
+        return rnd + 1 if rnd < 2 else rnd + 10_000
+
+
+class TestByzantineExecutions:
+    def test_equivocating_source_resolves_null(self):
+        n, t = 12, 2
+        _, honest = run_ds(n, t, [1] * n, byzantine={3: _Equivocator})
+        for node in honest:
+            resolved = dict(node.ds.resolved)
+            assert resolved[3] is None  # equivocation detected
+            for pid in range(n):
+                if pid != 3:
+                    assert resolved[pid] == 1
+        vectors = {node.ds.resolved for node in honest}
+        assert len(vectors) == 1  # still identical everywhere
+
+    def test_forged_relay_rejected(self):
+        n, t = 10, 2
+        _, honest = run_ds(n, t, [1] * n, byzantine={4: _Forger})
+        for node in honest:
+            resolved = dict(node.ds.resolved)
+            assert resolved[0] == 1  # the forgery never displaced it
+
+    def test_silent_source_resolves_null(self):
+        class Silent(ByzantineProcess):
+            def __init__(self, pid, n, params, service):
+                super().__init__(pid, n)
+
+            def next_activity(self, rnd):
+                return rnd + 10_000
+
+        n, t = 10, 2
+        _, honest = run_ds(n, t, [1] * n, byzantine={5: Silent})
+        for node in honest:
+            assert dict(node.ds.resolved)[5] is None
+
+
+class TestChainValidation:
+    def test_short_chain_rejected_late(self):
+        params = ProtocolParams(n=8, t=3, seed=0)
+        service = SignatureService(8)
+        ds = ParallelDolevStrong(0, params, 1, 0, service, service.key_for(0), committee=8)
+        chain = (service.key_for(2).sign(ds_message(2, 7)),)
+        # A one-signature chain is acceptable at ρ=0 but not at ρ=2.
+        assert ds._chain_valid(2, 7, chain, rho=0)
+        assert not ds._chain_valid(2, 7, chain, rho=2)
+
+    def test_chain_must_start_with_source(self):
+        params = ProtocolParams(n=8, t=3, seed=0)
+        service = SignatureService(8)
+        ds = ParallelDolevStrong(0, params, 1, 0, service, service.key_for(0), committee=8)
+        chain = (service.key_for(3).sign(ds_message(2, 7)),)
+        assert not ds._chain_valid(2, 7, chain, rho=0)
+
+    def test_duplicate_signers_rejected(self):
+        params = ProtocolParams(n=8, t=3, seed=0)
+        service = SignatureService(8)
+        ds = ParallelDolevStrong(0, params, 1, 0, service, service.key_for(0), committee=8)
+        key = service.key_for(2)
+        chain = (key.sign(ds_message(2, 7)), key.sign(ds_message(2, 7)))
+        assert not ds._chain_valid(2, 7, chain, rho=1)

@@ -1,0 +1,78 @@
+"""Tests for the early-stopping consensus baseline (the [23]-style
+comparator in the paper's related work)."""
+
+import pytest
+
+from repro.baselines import EarlyStoppingConsensusProcess
+from repro.properties import check_consensus
+from repro.sim import Engine, crash_schedule
+from repro.sim.adversary import CrashSpec, ScheduledCrashes
+from tests.conftest import random_bits
+
+
+def run_early_stopping(n, t, inputs, adversary=None):
+    processes = [
+        EarlyStoppingConsensusProcess(i, n, t, inputs[i]) for i in range(n)
+    ]
+    return Engine(processes, adversary).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("kind", ["random", "early", "staggered"])
+    def test_spec_under_crashes(self, seed, kind):
+        n, t = 60, 20
+        inputs = random_bits(n, seed)
+        adversary = crash_schedule(n, t, seed=seed, kind=kind, max_round=t + 1)
+        result = run_early_stopping(n, t, inputs, adversary)
+        check_consensus(result, inputs)
+
+    def test_hidden_value_chain(self):
+        # The adversarial pattern early stopping must survive: a single
+        # 0 hops through partial-crash deliveries, one crash per round.
+        # keep=k delivers a prefix of the broadcast, hiding the 0 from
+        # most nodes while the carriers die one by one.
+        n, t = 30, 10
+        inputs = [1] * n
+        inputs[0] = 0
+        schedule = {pid: CrashSpec(round=pid, keep=1) for pid in range(t)}
+        result = run_early_stopping(n, t, inputs, ScheduledCrashes(schedule))
+        check_consensus(result, inputs)
+
+    def test_failure_free_fast(self):
+        n, t = 40, 15
+        inputs = random_bits(n, 9)
+        result = run_early_stopping(n, t, inputs)
+        check_consensus(result, inputs)
+        # f = 0: clean pair observed at round 1, cascade ends by round 3.
+        assert result.rounds <= 3
+
+
+class TestEarlyStoppingBehaviour:
+    def test_rounds_track_f_not_t(self):
+        # With f ≪ t actual crashes, deciding takes O(f + 1) rounds,
+        # far below the t + 1 cap.
+        n, t = 60, 25
+        inputs = random_bits(n, 2)
+        for f in (0, 3, 8):
+            adversary = crash_schedule(n, f, seed=3, kind="staggered", max_round=f + 1)
+            result = run_early_stopping(n, t, inputs, adversary)
+            check_consensus(result, inputs)
+            assert result.rounds <= f + 5
+
+    def test_round_cap_at_t_plus_one(self):
+        n, t = 40, 12
+        inputs = random_bits(n, 4)
+        adversary = crash_schedule(n, t, seed=4, kind="staggered", max_round=t + 1)
+        result = run_early_stopping(n, t, inputs, adversary)
+        check_consensus(result, inputs)
+        assert result.rounds <= t + 3  # cap + DECIDED cascade
+
+    def test_quadratic_messages_are_the_price(self):
+        # Dolev–Lenzen: f+1-round deciding costs Ω(n²) messages; the
+        # baseline indeed pays ~n² per round, which is what the paper's
+        # fixed-schedule algorithms avoid.
+        n, t = 60, 10
+        inputs = random_bits(n, 5)
+        result = run_early_stopping(n, t, inputs)
+        assert result.messages >= n * (n - 1)

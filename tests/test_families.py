@@ -1,0 +1,84 @@
+"""Unit tests for the per-phase overlay graph families."""
+
+from repro.graphs.families import (
+    mcc_phase_degree,
+    mcc_phase_graph,
+    random_out_graph,
+    scv_inquiry_degree,
+    scv_inquiry_graph,
+    spread_graph,
+)
+
+
+class TestRandomOutGraph:
+    def test_minimum_degree_at_least_out(self):
+        graph = random_out_graph(100, 6, seed=1)
+        assert graph.min_degree >= 6
+
+    def test_deterministic(self):
+        assert random_out_graph(60, 4, seed=9) is random_out_graph(60, 4, seed=9)
+
+    def test_different_seed_differs(self):
+        first = random_out_graph(60, 4, seed=1)
+        second = random_out_graph(60, 4, seed=2)
+        assert first.adj != second.adj
+
+    def test_degenerates_to_complete(self):
+        graph = random_out_graph(10, 9, seed=0)
+        assert graph.edge_count == 45
+
+    def test_no_self_loops(self):
+        graph = random_out_graph(50, 5, seed=3)
+        assert all(u not in graph.neighbors(u) for u in range(50))
+
+
+class TestSCVInquiryFamily:
+    def test_degree_doubles_per_phase(self):
+        degrees = [scv_inquiry_degree(i, 10_000) for i in range(1, 6)]
+        assert all(b == 2 * a for a, b in zip(degrees, degrees[1:]))
+
+    def test_degree_caps_at_n_minus_one(self):
+        assert scv_inquiry_degree(30, 100) == 99
+
+    def test_final_phase_graph_complete(self):
+        graph = scv_inquiry_graph(40, 20, seed=0)
+        assert graph.edge_count == 40 * 39 // 2
+
+    def test_phases_distinct(self):
+        first = scv_inquiry_graph(100, 1, seed=0)
+        second = scv_inquiry_graph(100, 2, seed=0)
+        assert first.adj != second.adj
+
+
+class TestMCCPhaseFamily:
+    def test_degree_formula_growth(self):
+        low = mcc_phase_degree(1, 100_000, 0.5)
+        high = mcc_phase_degree(5, 100_000, 0.5)
+        assert high == 16 * low or high >= 8 * low  # doubling per phase
+
+    def test_degree_caps(self):
+        assert mcc_phase_degree(30, 50, 0.5) == 49
+
+    def test_alpha_range_checked(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            mcc_phase_degree(1, 100, 1.0)
+
+    def test_graph_buildable(self):
+        graph = mcc_phase_graph(80, 2, 0.25, seed=0)
+        assert graph.n == 80
+        assert graph.min_degree >= 1
+
+
+class TestSpreadGraph:
+    def test_constant_degree(self):
+        graph = spread_graph(200, seed=0)
+        assert graph.is_regular()
+
+    def test_small_n_complete(self):
+        graph = spread_graph(10, seed=0)
+        assert graph.edge_count == 45
+
+    def test_memoised(self):
+        assert spread_graph(200, seed=0) is spread_graph(200, seed=0)

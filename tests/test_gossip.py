@@ -1,0 +1,89 @@
+"""Integration tests for Gossip (Fig. 5, Thm. 9)."""
+
+import pytest
+
+from repro import check_gossip, run_gossip
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import CrashSpec, ScheduledCrashes
+
+
+def rumors_for(n):
+    return [f"rumor-{i}" for i in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_crashes(self, seed):
+        n, t = 100, 15
+        rumors = rumors_for(n)
+        result = run_gossip(rumors, t, crashes="random", seed=seed)
+        check_gossip(result, rumors)
+
+    @pytest.mark.parametrize("kind", ["early", "late", "staggered"])
+    def test_adversary_kinds(self, kind):
+        n, t = 100, 15
+        rumors = rumors_for(n)
+        result = run_gossip(rumors, t, crashes=kind, seed=2)
+        check_gossip(result, rumors)
+
+    def test_failure_free_sets_complete_and_equal(self):
+        n = 60
+        rumors = rumors_for(n)
+        result = run_gossip(rumors, 8, crashes=None)
+        check_gossip(result, rumors)
+        sets = list(result.correct_decisions().values())
+        assert all(s == sets[0] for s in sets)
+        assert len(sets[0]) == n
+
+    def test_silent_crash_excluded_everywhere(self):
+        # Condition (1): a node that crashed before sending anything is
+        # in nobody's decided set.
+        n, t = 80, 10
+        victim = 70  # a non-little node, crashed with zero deliveries
+        schedule = ScheduledCrashes({victim: CrashSpec(round=0, keep=0)})
+        rumors = rumors_for(n)
+        result = run_gossip(rumors, t, crashes=schedule)
+        check_gossip(result, rumors)
+        for extant in result.correct_decisions().values():
+            assert all(q != victim for q, _ in extant)
+
+    def test_t_zero(self):
+        rumors = rumors_for(40)
+        result = run_gossip(rumors, 0, crashes=None)
+        check_gossip(result, rumors)
+
+    def test_rejects_large_t(self):
+        with pytest.raises(ValueError):
+            run_gossip(rumors_for(20), 4)
+
+
+class TestPerformanceShape:
+    def test_rounds_polylogarithmic(self):
+        # Theorem 9: O(log n · log t) rounds -- wildly sublinear in n.
+        for n in (100, 200, 400):
+            t = n // 10
+            params = ProtocolParams(n=n, t=t)
+            result = run_gossip(rumors_for(n), t, crashes="random", seed=1)
+            bound = 2 * params.gossip_phase_count * (2 + params.little_probe_rounds)
+            assert result.rounds <= bound
+
+    def test_message_shape(self):
+        # O(n + t log n log t) with the committee-degree constant.
+        for n in (100, 200):
+            t = n // 10
+            params = ProtocolParams(n=n, t=t)
+            result = run_gossip(rumors_for(n), t, crashes="random", seed=1)
+            probing = (
+                params.little_count
+                * params.little_degree
+                * params.little_probe_rounds
+                * 2
+                * params.gossip_phase_count
+            )
+            bound = 4 * n + 2 * probing
+            assert result.messages <= bound
+
+    def test_bits_account_linear_size_messages(self):
+        # Probe messages are charged the full extant-set size.
+        result = run_gossip(rumors_for(60), 8, crashes=None)
+        assert result.bits > result.messages  # far above one bit each

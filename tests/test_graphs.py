@@ -1,0 +1,170 @@
+"""Unit tests for the Graph type and the expander analysis toolkit."""
+
+import math
+
+import pytest
+
+from repro.graphs.expander import (
+    edges_between,
+    induced_volume,
+    is_connected_within,
+    is_ramanujan,
+    mixing_lemma_gap,
+    ramanujan_bound,
+    second_eigenvalue,
+    spectral_certificate,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.ramanujan import (
+    certified_ramanujan_graph,
+    complete_graph,
+    margulis_graph,
+    paper_delta,
+    paper_ell,
+)
+
+
+class TestGraphType:
+    def test_from_edges_symmetrises_and_dedups(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 0), (1, 2), (1, 1)])
+        assert graph.neighbors(1) == (0, 2)
+        assert graph.edge_count == 2
+
+    def test_loops_dropped(self):
+        graph = Graph.from_edges(2, [(0, 0), (0, 1)])
+        assert graph.degree(0) == 1
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_has_edge(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+
+    def test_regularity_flags(self):
+        cycle = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert cycle.is_regular()
+        path = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert not path.is_regular()
+
+    def test_adjacency_row_count_checked(self):
+        with pytest.raises(ValueError):
+            Graph(3, ((1,), (0,)))
+
+
+class TestSpectra:
+    def test_complete_graph_lambda_is_one(self):
+        graph = complete_graph(10)
+        assert second_eigenvalue(graph) == pytest.approx(1.0, abs=1e-8)
+
+    def test_cycle_spectrum(self):
+        # C_n has eigenvalues 2cos(2πk/n); for n=6 the second largest
+        # magnitude is 2cos(π/3)*... = 1 and |λ_n| = 2 (bipartite).
+        n = 6
+        cycle = Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+        lam = second_eigenvalue(cycle)
+        assert lam == pytest.approx(2.0, abs=1e-8)  # -2 from bipartiteness
+
+    def test_ramanujan_bound_formula(self):
+        assert ramanujan_bound(5) == pytest.approx(4.0)
+        assert ramanujan_bound(1) == 0.0
+
+    def test_ramanujan_bound_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            ramanujan_bound(0)
+
+    def test_certificate_fields(self):
+        graph = certified_ramanujan_graph(64, 8, seed=0)
+        cert = spectral_certificate(graph, 8)
+        assert cert["lambda"] <= cert["bound"] * (1 + 0.12) + 1e-9
+        assert 0 < cert["ratio"] < 1.2
+
+    def test_bipartite_double_cover_not_ramanujan(self):
+        # K_{4,4} has eigenvalues ±4 and 0s: λ = 4 > 2·sqrt(3).
+        edges = [(i, 4 + j) for i in range(4) for j in range(4)]
+        graph = Graph.from_edges(8, edges)
+        assert not is_ramanujan(graph, d=4)
+
+
+class TestSetCombinatorics:
+    def setup_method(self):
+        self.graph = certified_ramanujan_graph(60, 6, seed=1)
+
+    def test_edges_between_counts(self):
+        first, second = set(range(0, 30)), set(range(30, 60))
+        count = edges_between(self.graph, first, second)
+        total = self.graph.edge_count
+        inside = induced_volume(self.graph, first) + induced_volume(self.graph, second)
+        assert count == total - inside
+
+    def test_edges_between_requires_disjoint(self):
+        with pytest.raises(ValueError):
+            edges_between(self.graph, {1, 2}, {2, 3})
+
+    def test_mixing_lemma_holds(self):
+        # The Expander Mixing Lemma inequality must hold for any pair of
+        # disjoint sets (this exercises the eigenvalue computation).
+        first, second = set(range(0, 20)), set(range(20, 45))
+        assert mixing_lemma_gap(self.graph, first, second) >= -1e-6
+
+    def test_connectivity(self):
+        assert is_connected_within(self.graph)
+        assert is_connected_within(self.graph, [])
+        assert is_connected_within(self.graph, [5])
+
+    def test_disconnected_subset_detected(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected_within(graph, [0, 1, 2, 3])
+        assert is_connected_within(graph, [0, 1])
+
+
+class TestConstructions:
+    def test_certified_graph_is_regular(self):
+        graph = certified_ramanujan_graph(100, 8, seed=0)
+        assert graph.is_regular()
+        assert graph.max_degree == 8
+
+    def test_certified_graph_deterministic(self):
+        first = certified_ramanujan_graph(100, 8, seed=0)
+        second = certified_ramanujan_graph(100, 8, seed=0)
+        assert first is second  # memoised
+
+    def test_small_n_degenerates_to_complete(self):
+        graph = certified_ramanujan_graph(5, 32, seed=0)
+        assert graph.edge_count == 10
+
+    def test_odd_parity_degree_bumped(self):
+        graph = certified_ramanujan_graph(15, 7, seed=0)  # 15*7 odd
+        assert graph.max_degree == 8
+
+    def test_margulis_explicit_expander(self):
+        graph = margulis_graph(8)
+        assert graph.n == 64
+        assert is_connected_within(graph)
+        lam = second_eigenvalue(graph)
+        assert lam < graph.max_degree  # spectral gap exists
+        assert lam <= 5 * math.sqrt(2) + 1e-6  # the classical bound
+
+    def test_margulis_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            margulis_graph(1)
+
+
+class TestPaperFormulas:
+    def test_paper_ell(self):
+        assert paper_ell(100, 5**8) == pytest.approx(4 * 100 * (5**8) ** (-1 / 8))
+        # The paper's choice makes ell = 4t for committees of 5t nodes:
+        # with d = 5^8, d^(1/8) = 5 and ell(5t, d) = 4*5t/5 = 4t.
+        assert paper_ell(5 * 7, 5**8) == pytest.approx(4 * 7)
+
+    def test_paper_delta_positive_and_monotone(self):
+        values = [paper_delta(d) for d in (4, 8, 16, 32, 64)]
+        assert all(v >= 1 for v in values)
+        assert values == sorted(values)
+
+    def test_paper_delta_exact_for_paper_degree(self):
+        d = 5**8
+        expected = 0.5 * (d ** (7 / 8) - d ** (5 / 8))
+        assert paper_delta(d) == math.ceil(expected)

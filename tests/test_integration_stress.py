@@ -1,0 +1,133 @@
+"""Cross-cutting stress and failure-injection tests.
+
+These push the algorithms through hostile corners that the per-module
+suites do not: victim pools concentrated on the little committee,
+crashes timed at part boundaries, many seeds, and composition checks
+(overlay determinism across independently constructed processes).
+"""
+
+import pytest
+
+from repro import (
+    check_checkpointing,
+    check_consensus,
+    check_gossip,
+    run_checkpointing,
+    run_consensus,
+    run_gossip,
+)
+from repro.core.aea import aea_overlay
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import CrashSpec, ScheduledCrashes, crash_schedule
+from tests.conftest import random_bits
+
+
+class TestTargetedLittleCrashes:
+    """The adversary spends its whole budget on the committee."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_consensus_survives_committee_attack(self, seed):
+        n, t = 120, 20
+        params = ProtocolParams(n=n, t=t, seed=0)
+        inputs = random_bits(n, seed)
+        adversary = crash_schedule(
+            n,
+            t,
+            seed=seed,
+            victims=range(params.little_count),
+            max_round=params.little_flood_rounds + params.little_probe_rounds,
+        )
+        result = run_consensus(inputs, t, algorithm="few", crashes=adversary)
+        check_consensus(result, inputs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_gossip_survives_committee_attack(self, seed):
+        n, t = 120, 20
+        params = ProtocolParams(n=n, t=t, seed=0)
+        rumors = [f"r{i}" for i in range(n)]
+        adversary = crash_schedule(
+            n, t, seed=seed, victims=range(params.little_count), max_round=40
+        )
+        result = run_gossip(rumors, t, crashes=adversary)
+        check_gossip(result, rumors)
+
+
+class TestBoundaryTimedCrashes:
+    """Crashes placed exactly at part transitions (the historically
+    bug-prone rounds: last flood round, first/last probing round,
+    notify round)."""
+
+    def test_consensus_with_boundary_crashes(self):
+        n, t = 100, 15
+        params = ProtocolParams(n=n, t=t, seed=0)
+        flood_end = params.little_flood_rounds
+        probe_end = flood_end + params.little_probe_rounds
+        boundary_rounds = [
+            0,
+            flood_end - 1,
+            flood_end,
+            probe_end - 1,
+            probe_end,
+            probe_end + 1,
+        ]
+        schedule = {}
+        for index, rnd in enumerate(boundary_rounds):
+            for keep in (0, 1):
+                pid = 2 * index + keep  # little nodes 0..11
+                schedule[pid] = CrashSpec(round=rnd, keep=keep)
+        inputs = random_bits(n, 17)
+        result = run_consensus(
+            inputs, t, algorithm="few", crashes=ScheduledCrashes(schedule)
+        )
+        check_consensus(result, inputs)
+
+    def test_checkpointing_with_boundary_crashes(self):
+        n, t = 80, 12
+        gossip_end = None  # derived inside; use early/late mix instead
+        schedule = {pid: CrashSpec(round=pid * 3, keep=pid % 3) for pid in range(t)}
+        result = run_checkpointing(n, t, crashes=ScheduledCrashes(schedule))
+        check_checkpointing(result)
+
+
+class TestSeedSweep:
+    """Wider seed coverage than the per-module suites."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_consensus_ten_seeds(self, seed):
+        n, t = 80, 12
+        inputs = random_bits(n, 100 + seed)
+        result = run_consensus(inputs, t, algorithm="few", seed=seed)
+        check_consensus(result, inputs)
+
+    @pytest.mark.parametrize("overlay_seed", range(4))
+    def test_consensus_across_overlay_seeds(self, overlay_seed):
+        n, t = 80, 12
+        inputs = random_bits(n, 55)
+        result = run_consensus(
+            inputs, t, algorithm="few", seed=1, overlay_seed=overlay_seed
+        )
+        check_consensus(result, inputs)
+
+
+class TestOverlayDeterminism:
+    def test_every_node_builds_the_same_graph(self):
+        # Processes construct overlays independently; determinism of the
+        # construction is what makes that sound.
+        params = ProtocolParams(n=100, t=15, seed=4)
+        first = aea_overlay(params)
+        second = aea_overlay(params)
+        assert first is second  # memoised, hence identical
+        other_seed = aea_overlay(params.with_seed(5))
+        assert other_seed.adj != first.adj
+
+    def test_results_depend_only_on_seeds(self):
+        n, t = 80, 12
+        inputs = random_bits(n, 77)
+        runs = [
+            run_consensus(inputs, t, algorithm="few", seed=3, overlay_seed=2)
+            for _ in range(2)
+        ]
+        assert runs[0].correct_decisions() == runs[1].correct_decisions()
+        assert runs[0].messages == runs[1].messages
+        assert runs[0].rounds == runs[1].rounds
+        assert runs[0].crashed == runs[1].crashed

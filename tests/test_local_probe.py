@@ -1,0 +1,138 @@
+"""Local probing semantics and the Proposition 1 correspondence.
+
+Proposition 1 ties probing survival to the graph combinatorics:
+members of a δ-survival subset survive; nodes without a
+(γ, δ)-dense neighborhood do not.  These tests check the primitive in
+isolation and then run a real probing execution on the engine and
+compare survivors against the combinatorial predictions.
+"""
+
+from repro.core.local_probe import LocalProbe
+from repro.graphs.compactness import dense_neighborhood, survival_subset
+from repro.graphs.ramanujan import certified_ramanujan_graph, paper_delta
+from repro.sim.adversary import CrashSpec, ScheduledCrashes
+from repro.sim.engine import Engine
+from repro.sim.process import Multicast, Process
+
+
+class TestPrimitive:
+    def make(self, delta=2, rounds=3, start=0, neighbors=(1, 2, 3)):
+        return LocalProbe(
+            neighbors=neighbors,
+            delta=delta,
+            start_round=start,
+            rounds=rounds,
+            payload_fn=lambda: "probe",
+        )
+
+    def test_window_bounds(self):
+        probe = self.make(start=5, rounds=3)
+        assert not probe.in_window(4)
+        assert probe.in_window(5) and probe.in_window(7)
+        assert not probe.in_window(8)
+
+    def test_outgoing_within_window(self):
+        probe = self.make()
+        dsts, payload = probe.outgoing(0)
+        assert dsts == (1, 2, 3)
+        assert payload == "probe"
+        assert probe.outgoing(99) is None
+
+    def test_pause_on_starvation(self):
+        probe = self.make(delta=2)
+        probe.note_receptions(0, 1)  # below threshold
+        assert probe.paused
+        assert probe.outgoing(1) is None
+
+    def test_survives_with_enough_receptions(self):
+        probe = self.make(delta=2, rounds=3)
+        for rnd in range(3):
+            probe.note_receptions(rnd, 2)
+        assert probe.finished(2)
+        assert probe.survived
+
+    def test_pause_on_final_round_kills_survival(self):
+        probe = self.make(delta=2, rounds=3)
+        probe.note_receptions(0, 5)
+        probe.note_receptions(1, 5)
+        probe.note_receptions(2, 0)
+        assert not probe.survived
+
+    def test_no_neighbors_sends_nothing(self):
+        probe = self.make(neighbors=())
+        assert probe.outgoing(0) is None
+
+    def test_receptions_outside_window_ignored(self):
+        probe = self.make(start=10)
+        probe.note_receptions(0, 0)
+        assert not probe.paused
+
+
+class ProbeOnly(Process):
+    """A process that only runs one probing instance on a graph."""
+
+    def __init__(self, pid, n, graph, delta, rounds):
+        super().__init__(pid, n)
+        self.probe = LocalProbe(
+            neighbors=graph.neighbors(pid),
+            delta=delta,
+            start_round=0,
+            rounds=rounds,
+            payload_fn=lambda: 1,
+        )
+        self.rounds = rounds
+
+    def send(self, rnd):
+        out = self.probe.outgoing(rnd)
+        if out is None:
+            return ()
+        dsts, payload = out
+        return [Multicast(dsts, payload)]
+
+    def receive(self, rnd, inbox):
+        self.probe.note_receptions(rnd, len(inbox))
+        if rnd >= self.rounds - 1:
+            self.halt()
+
+
+class TestProposition1:
+    def run_probing(self, graph, crashed, delta, rounds):
+        n = graph.n
+        schedule = {pid: CrashSpec(round=0, keep=0) for pid in crashed}
+        processes = [ProbeOnly(pid, n, graph, delta, rounds) for pid in range(n)]
+        Engine(processes, ScheduledCrashes(schedule)).run()
+        return {
+            p.pid
+            for p in processes
+            if p.pid not in crashed and p.probe.survived
+        }
+
+    def test_survival_subset_members_survive(self):
+        graph = certified_ramanujan_graph(60, 8, seed=1)
+        delta = paper_delta(8)
+        crashed = set(range(0, 10))
+        alive = set(range(60)) - crashed
+        survivors = self.run_probing(graph, crashed, delta, rounds=8)
+        predicted = survival_subset(graph, alive, delta)
+        # Every member of the δ-survival subset of the operational set
+        # survives (Proposition 1, third claim).
+        assert predicted <= survivors
+
+    def test_nodes_without_dense_neighborhood_pause(self):
+        graph = certified_ramanujan_graph(60, 8, seed=1)
+        delta = paper_delta(8)
+        rounds = 8
+        # Crash the entire neighborhood of node 0: it receives nothing
+        # and must pause immediately.
+        crashed = set(graph.neighbors(0))
+        survivors = self.run_probing(graph, crashed, delta, rounds)
+        assert 0 not in survivors
+        # And indeed no dense neighborhood exists for it among the
+        # operational nodes.
+        alive = set(range(60)) - crashed
+        assert dense_neighborhood(graph, 0, rounds, delta, within=alive) is None
+
+    def test_failure_free_probing_everyone_survives(self):
+        graph = certified_ramanujan_graph(60, 8, seed=1)
+        survivors = self.run_probing(graph, set(), paper_delta(8), rounds=8)
+        assert survivors == set(range(60))

@@ -1,0 +1,83 @@
+"""Tests for the explicit LPS Ramanujan construction ``X^{p,q}``."""
+
+import math
+
+import pytest
+
+from repro.graphs.expander import (
+    is_connected_within,
+    second_eigenvalue,
+)
+from repro.graphs.lps import (
+    _norm_p_quadruples,
+    lps_graph,
+    lps_parameters_ok,
+    lps_vertex_count,
+)
+
+
+class TestParameterScreening:
+    def test_known_good_pairs(self):
+        assert lps_parameters_ok(13, 17)
+        assert lps_parameters_ok(5, 29)
+
+    def test_non_residue_rejected(self):
+        # 5 is a non-residue mod 13 -> the bipartite PGL case, which we
+        # do not build (bipartite graphs have λ = d and break mixing).
+        assert not lps_parameters_ok(5, 13)
+
+    def test_wrong_residue_class_rejected(self):
+        assert not lps_parameters_ok(7, 17)  # 7 ≡ 3 (mod 4)
+        assert not lps_parameters_ok(13, 19)  # 19 ≡ 3 (mod 4)
+
+    def test_non_prime_rejected(self):
+        assert not lps_parameters_ok(9, 17)
+        assert not lps_parameters_ok(13, 21)
+
+    def test_equal_primes_rejected(self):
+        assert not lps_parameters_ok(13, 13)
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            lps_graph(5, 13)
+
+
+class TestQuaternionGenerators:
+    @pytest.mark.parametrize("p", [5, 13, 17, 29])
+    def test_exactly_p_plus_one_solutions(self, p):
+        # Jacobi's theorem specialised: p ≡ 1 (mod 4) has exactly p + 1
+        # representations with a0 odd positive and the rest even.
+        assert len(_norm_p_quadruples(p)) == p + 1
+
+    def test_solutions_have_norm_p(self):
+        for quad in _norm_p_quadruples(13):
+            assert sum(x * x for x in quad) == 13
+            assert quad[0] > 0 and quad[0] % 2 == 1
+            assert all(x % 2 == 0 for x in quad[1:])
+
+
+class TestX13_17:
+    """The flagship instance: 14-regular on 2448 vertices."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return lps_graph(13, 17)
+
+    def test_vertex_count(self, graph):
+        assert graph.n == lps_vertex_count(17) == 2448
+
+    def test_regularity(self, graph):
+        assert graph.is_regular()
+        assert graph.max_degree == 14
+
+    def test_connected(self, graph):
+        assert is_connected_within(graph)
+
+    def test_genuinely_ramanujan(self, graph):
+        # The headline: λ ≤ 2·sqrt(p) with NO slack.  (The seeded
+        # overlays only promise the slackened bound.)
+        lam = second_eigenvalue(graph)
+        assert lam <= 2 * math.sqrt(13) + 1e-9
+
+    def test_memoised(self, graph):
+        assert lps_graph(13, 17) is graph

@@ -1,0 +1,74 @@
+"""Unit tests for the message bit-accounting rules."""
+
+import pytest
+
+from repro.auth.signatures import SignatureService
+from repro.sim.process import payload_bits
+
+
+class TestScalars:
+    def test_none_is_one_bit(self):
+        assert payload_bits(None) == 1
+
+    def test_bools_are_one_bit(self):
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_binary_rumors_are_one_bit(self):
+        # The consensus algorithms exchange 0/1 rumors costing one bit.
+        assert payload_bits(0) == 1
+        assert payload_bits(1) == 1
+
+    def test_int_costs_bit_length(self):
+        assert payload_bits(255) == 8
+        assert payload_bits(256) == 9
+
+    def test_mask_costs_vector_width(self):
+        # An n-instance checkpointing mask with the top instance set
+        # costs n bits.
+        n = 177
+        assert payload_bits(1 << (n - 1)) == n
+
+    def test_float_is_word_sized(self):
+        assert payload_bits(1.5) == 64
+
+    def test_strings_cost_a_byte_per_char(self):
+        assert payload_bits("abc") == 24
+        assert payload_bits("") == 8  # minimum charge
+
+    def test_bytes_cost_a_byte_each(self):
+        assert payload_bits(b"xyz") == 24
+
+
+class TestContainers:
+    def test_tuple_sums_elements_plus_overhead(self):
+        assert payload_bits((0, 1)) == (1 + 1) + (1 + 1)
+
+    def test_dict_sums_keys_and_values(self):
+        got = payload_bits({3: 1})
+        assert got == 2 + 1 + 1  # key bits + value bits + overhead
+
+    def test_nested_containers(self):
+        assert payload_bits(((1,),)) == payload_bits((1,)) + 1
+
+    def test_empty_container_minimum_one_bit(self):
+        assert payload_bits(()) == 1
+        assert payload_bits({}) == 1
+
+
+class TestCustomSizes:
+    def test_bits_size_protocol_is_honoured(self):
+        class Sized:
+            def bits_size(self):
+                return 12345
+
+        assert payload_bits(Sized()) == 12345
+
+    def test_signature_is_constant_size(self):
+        service = SignatureService(4)
+        signature = service.key_for(0).sign(("m", 1))
+        assert payload_bits(signature) == 256
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_bits(object())

@@ -1,0 +1,71 @@
+"""Unit tests for the simulated authentication substrate."""
+
+from repro.auth.signatures import Signature, SignatureService
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        service = SignatureService(4)
+        signature = service.key_for(2).sign(("hello", 7))
+        assert service.verify(signature, ("hello", 7), 2)
+
+    def test_wrong_message_rejected(self):
+        service = SignatureService(4)
+        signature = service.key_for(2).sign("m1")
+        assert not service.verify(signature, "m2", 2)
+
+    def test_wrong_signer_rejected(self):
+        service = SignatureService(4)
+        signature = service.key_for(2).sign("m")
+        assert not service.verify(signature, "m", 3)
+
+    def test_non_signature_rejected(self):
+        service = SignatureService(4)
+        assert not service.verify("garbage", "m", 0)
+
+    def test_fabricated_signature_rejected(self):
+        # A Byzantine node instantiating the dataclass directly cannot
+        # pass verification: the forgery was never issued by a key.
+        service = SignatureService(4)
+        forged = Signature(signer=1, message="m", nonce=999)
+        assert not service.verify(forged, "m", 1)
+
+    def test_signatures_unique_nonces(self):
+        service = SignatureService(2)
+        key = service.key_for(0)
+        first, second = key.sign("m"), key.sign("m")
+        assert first.nonce != second.nonce
+        assert service.verify(first, "m", 0) and service.verify(second, "m", 0)
+
+    def test_cross_service_isolation(self):
+        first, second = SignatureService(2), SignatureService(2)
+        signature = first.key_for(0).sign("m")
+        assert not second.verify(signature, "m", 0)
+
+
+class TestCountValid:
+    def test_counts_distinct_allowed_signers(self):
+        service = SignatureService(6)
+        sigs = [service.key_for(i).sign("v") for i in range(4)]
+        assert service.count_valid(sigs, "v", range(6)) == 4
+
+    def test_duplicate_signers_counted_once(self):
+        service = SignatureService(6)
+        key = service.key_for(1)
+        sigs = [key.sign("v"), key.sign("v"), key.sign("v")]
+        assert service.count_valid(sigs, "v", range(6)) == 1
+
+    def test_disallowed_signers_ignored(self):
+        service = SignatureService(6)
+        sigs = [service.key_for(i).sign("v") for i in range(6)]
+        assert service.count_valid(sigs, "v", range(3)) == 3
+
+    def test_wrong_message_signatures_ignored(self):
+        service = SignatureService(6)
+        sigs = [service.key_for(0).sign("other")]
+        assert service.count_valid(sigs, "v", range(6)) == 0
+
+    def test_junk_entries_ignored(self):
+        service = SignatureService(6)
+        sigs = [None, 42, "x", service.key_for(0).sign("v")]
+        assert service.count_valid(sigs, "v", range(6)) == 1
