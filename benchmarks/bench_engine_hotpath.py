@@ -1,0 +1,60 @@
+"""Engine hot-path throughput: optimized vs. reference round loop.
+
+Flooding consensus is the message-densest workload in the repo
+(all-to-all for ``t + 1`` rounds ≈ ``n²`` envelopes per round), so it
+isolates the engine's per-message costs — inbox appends, payload-bits
+accounting, metric tallies — from protocol logic.  The parity tests
+guarantee both loops produce identical metrics; this file measures the
+speed gap and records messages/sec in ``benchmark.extra_info``.
+"""
+
+import pytest
+
+from repro import check_consensus
+from repro.baselines import FloodingConsensusProcess
+from repro.sim import Engine, crash_schedule
+
+
+def _flooding_run(n: int, t: int, optimized: bool):
+    processes = [FloodingConsensusProcess(i, n, t, i % 2) for i in range(n)]
+    adversary = crash_schedule(n, t, seed=1, max_round=t + 1)
+    return Engine(processes, adversary, optimized=optimized).run()
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["reference", "optimized"])
+@pytest.mark.parametrize("n", [500, 2000])
+def test_flooding_throughput(benchmark, n, optimized):
+    t = 3
+    result = benchmark.pedantic(
+        lambda: _flooding_run(n, t, optimized), rounds=1, iterations=1
+    )
+    inputs = [i % 2 for i in range(n)]
+    check_consensus(result, inputs)
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info.update(
+        {
+            "n": n,
+            "optimized": optimized,
+            "messages": result.messages,
+            "messages_per_sec": int(result.messages / max(elapsed, 1e-9)),
+        }
+    )
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["reference", "optimized"])
+def test_multicast_fanout_throughput(benchmark, optimized):
+    # The committee protocols stress multicast fan-out rather than
+    # point-to-point floods; gossip at n=480 covers that shape.
+    from repro import run_gossip
+    from repro.bench.workloads import rumor_vector
+
+    n, t = 480, 48
+    rumors = rumor_vector(n, 1)
+    result = benchmark.pedantic(
+        lambda: run_gossip(rumors, t, seed=1, optimized=optimized),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"optimized": optimized, "messages": result.messages}
+    )

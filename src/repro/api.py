@@ -88,6 +88,7 @@ def run_consensus(
     overlay_seed: int = 0,
     max_rounds: int = 200_000,
     fast_forward: bool = True,
+    optimized: bool = True,
 ) -> RunResult:
     """Binary consensus with crashes (Figs. 3-4, Theorems 7-8).
 
@@ -123,7 +124,11 @@ def run_consensus(
         raise ValueError(f"unknown algorithm {algorithm!r}")
     adversary = _adversary(crashes, n, t, seed, horizon)
     engine = Engine(
-        processes, adversary, max_rounds=max_rounds, fast_forward=fast_forward
+        processes,
+        adversary,
+        max_rounds=max_rounds,
+        fast_forward=fast_forward,
+        optimized=optimized,
     )
     return engine.run()
 
@@ -136,6 +141,7 @@ def run_aea(
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    optimized: bool = True,
 ) -> RunResult:
     """Almost-Everywhere-Agreement alone (Fig. 1, Theorem 5)."""
     n = len(inputs)
@@ -144,7 +150,9 @@ def run_aea(
     processes = [AEAProcess(pid, params, inputs[pid], graph) for pid in range(n)]
     horizon = params.little_flood_rounds + params.little_probe_rounds
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(processes, adversary, max_rounds=max_rounds).run()
+    return Engine(
+        processes, adversary, max_rounds=max_rounds, optimized=optimized
+    ).run()
 
 
 def run_scv(
@@ -157,6 +165,7 @@ def run_scv(
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    optimized: bool = True,
 ) -> RunResult:
     """Spread-Common-Value alone (Fig. 2, Theorem 6).
 
@@ -172,7 +181,9 @@ def run_scv(
     ]
     horizon = params.scv_spread_rounds
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(processes, adversary, max_rounds=max_rounds).run()
+    return Engine(
+        processes, adversary, max_rounds=max_rounds, optimized=optimized
+    ).run()
 
 
 def run_gossip(
@@ -183,6 +194,7 @@ def run_gossip(
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    optimized: bool = True,
 ) -> RunResult:
     """Gossiping with crashes (Fig. 5, Theorem 9), ``t < n/5``."""
     n = len(rumors)
@@ -193,7 +205,9 @@ def run_gossip(
     processes = [GossipProcess(pid, params, rumors[pid], graph=graph) for pid in range(n)]
     horizon = params.gossip_phase_count * (2 + params.little_probe_rounds)
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(processes, adversary, max_rounds=max_rounds).run()
+    return Engine(
+        processes, adversary, max_rounds=max_rounds, optimized=optimized
+    ).run()
 
 
 def run_checkpointing(
@@ -204,6 +218,7 @@ def run_checkpointing(
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 200_000,
+    optimized: bool = True,
 ) -> RunResult:
     """Checkpointing with crashes (Fig. 6, Theorem 10), ``t < n/5``."""
     if 5 * t >= n:
@@ -217,7 +232,9 @@ def run_checkpointing(
     ]
     horizon = params.gossip_phase_count * (2 + params.little_probe_rounds)
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(processes, adversary, max_rounds=max_rounds).run()
+    return Engine(
+        processes, adversary, max_rounds=max_rounds, optimized=optimized
+    ).run()
 
 
 def run_ab_consensus(
@@ -229,6 +246,7 @@ def run_ab_consensus(
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    optimized: bool = True,
 ) -> RunResult:
     """Consensus under authenticated Byzantine faults (Fig. 7, Thm. 11).
 
@@ -254,5 +272,11 @@ def run_ab_consensus(
             processes.append(
                 ABConsensusProcess(pid, params, inputs[pid], service, spread=spread)
             )
-    engine = Engine(processes, NoFailures(), byzantine=byz, max_rounds=max_rounds)
+    engine = Engine(
+        processes,
+        NoFailures(),
+        byzantine=byz,
+        max_rounds=max_rounds,
+        optimized=optimized,
+    )
     return engine.run()

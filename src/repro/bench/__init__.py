@@ -1,6 +1,16 @@
 """Experiment harness: workload generators, per-experiment series
-builders and the CLI runner behind EXPERIMENTS.md."""
+builders, the parallel sweep scheduler and the CLI runner behind
+EXPERIMENTS.md."""
 
+from repro.bench.sweep import (
+    SweepOutcome,
+    SweepReport,
+    SweepSpec,
+    SweepUnit,
+    derive_seed,
+    expand_grid,
+    run_sweep,
+)
 from repro.bench.workloads import (
     byzantine_sample,
     input_vector,
@@ -9,8 +19,15 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "SweepOutcome",
+    "SweepReport",
+    "SweepSpec",
+    "SweepUnit",
     "byzantine_sample",
+    "derive_seed",
+    "expand_grid",
     "input_vector",
     "rumor_vector",
+    "run_sweep",
     "table1_fault_bound",
 ]

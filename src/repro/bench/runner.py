@@ -3,43 +3,63 @@
 Usage::
 
     python -m repro.bench.runner table1
-    python -m repro.bench.runner e5 e9
-    python -m repro.bench.runner all
+    python -m repro.bench.runner e5 e9 --jobs 4
+    python -m repro.bench.runner all --jobs 8 --out results/
 
-Each experiment id maps to a series builder in
-:mod:`repro.bench.series`; the output is an aligned text table (the
-same rows recorded in EXPERIMENTS.md).
+Each experiment id maps to a declarative sweep spec in
+:mod:`repro.bench.series`; the scheduler in :mod:`repro.bench.sweep`
+expands it into work units and fans them out over ``--jobs`` worker
+processes.  Row content and order are independent of the worker count
+(every unit is deterministically parameterised and results are
+collected in unit order), so ``--jobs`` only changes wall-clock time.
+
+The output is an aligned text table (the same rows recorded in
+EXPERIMENTS.md); ``--out DIR`` additionally writes one JSON report
+(parameters, rows, timings) and one CSV (rows only) per experiment for
+machine-readable trajectory tracking.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 import time
 
 from repro.bench import series
+from repro.bench.sweep import run_sweep, union_columns, write_csv, write_json
 
 __all__ = ["EXPERIMENTS", "format_table", "main", "run_experiment"]
 
+#: Experiment id -> (zero-argument spec builder, display title).  The
+#: single registry behind both :func:`run_experiment` and the CLI; the
+#: ``exp_*`` wrappers in :mod:`repro.bench.series` remain the
+#: parameterisable library surface.
 EXPERIMENTS = {
-    "table1": (series.exp_table1, "Table 1: linear time + communication ranges"),
-    "e5": (series.exp_e5_aea, "Theorem 5: Almost-Everywhere-Agreement"),
-    "e6": (series.exp_e6_scv, "Theorem 6: Spread-Common-Value"),
-    "e7": (series.exp_e7_consensus_few, "Theorem 7: Few-Crashes-Consensus"),
-    "e8": (series.exp_e8_consensus_many, "Theorem 8/Cor 1: Many-Crashes-Consensus"),
-    "e9": (series.exp_e9_gossip, "Theorem 9: Gossip"),
-    "e10": (series.exp_e10_checkpointing, "Theorem 10: Checkpointing"),
-    "e11": (series.exp_e11_byzantine, "Theorem 11: AB-Consensus"),
-    "e12": (series.exp_e12_singleport, "Theorem 12: single-port Linear-Consensus"),
-    "e13": (series.exp_e13_lowerbounds, "Theorem 13: lower bounds"),
-    "baselines": (series.exp_baselines, "Cross-comparison vs classical baselines"),
+    "table1": (series.table1_spec, "Table 1: linear time + communication ranges"),
+    "e5": (series.aea_spec, "Theorem 5: Almost-Everywhere-Agreement"),
+    "e6": (series.scv_spec, "Theorem 6: Spread-Common-Value"),
+    "e7": (series.consensus_few_spec, "Theorem 7: Few-Crashes-Consensus"),
+    "e8": (series.consensus_many_spec, "Theorem 8/Cor 1: Many-Crashes-Consensus"),
+    "e9": (series.gossip_spec, "Theorem 9: Gossip"),
+    "e10": (series.checkpointing_spec, "Theorem 10: Checkpointing"),
+    "e11": (series.byzantine_spec, "Theorem 11: AB-Consensus"),
+    "e12": (series.singleport_spec, "Theorem 12: single-port Linear-Consensus"),
+    "e13": (series.lowerbounds_spec, "Theorem 13: lower bounds"),
+    "baselines": (series.baselines_spec, "Cross-comparison vs classical baselines"),
 }
 
 
 def format_table(rows: list[dict]) -> str:
-    """Align a list of row dicts into a printable text table."""
+    """Align a list of row dicts into a printable text table.
+
+    The column set is the union of all row keys (ordered by first
+    appearance), so heterogeneous rows render every field instead of
+    silently dropping keys absent from the first row.
+    """
     if not rows:
         return "(no rows)"
-    columns = list(rows[0].keys())
+    columns = union_columns(rows)
     cells = [[str(row.get(col, "")) for col in columns] for row in rows]
     widths = [
         max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
@@ -53,27 +73,65 @@ def format_table(rows: list[dict]) -> str:
     return f"{header}\n{rule}\n{body}"
 
 
-def run_experiment(name: str) -> list[dict]:
+def run_experiment(name: str, jobs: int = 1) -> list[dict]:
     """Run one experiment by id and return its rows."""
-    builder, _ = EXPERIMENTS[name]
-    return builder()
+    spec_builder, _ = EXPERIMENTS[name]
+    return run_sweep(spec_builder(), jobs=jobs).rows()
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="Regenerate the paper-shaped experiment tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        metavar="EXPERIMENT",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes per sweep (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write <DIR>/<experiment>.json and .csv artifacts",
+    )
+    return parser.parse_args(argv)
 
 
 def main(argv: list[str]) -> int:
-    wanted = argv or ["all"]
+    args = _parse_args(argv)
+    wanted = list(args.experiments)
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)
     unknown = [name for name in wanted if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; choose from {list(EXPERIMENTS)}")
         return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
     for name in wanted:
-        builder, title = EXPERIMENTS[name]
+        spec_builder, title = EXPERIMENTS[name]
+        spec = spec_builder()
         started = time.time()
-        rows = builder()
+        report = run_sweep(spec, jobs=args.jobs)
         elapsed = time.time() - started
-        print(f"\n== {name}: {title}  [{elapsed:.1f}s]")
-        print(format_table(rows))
+        print(f"\n== {name}: {title}  [{elapsed:.1f}s, jobs={report.jobs}]")
+        print(format_table(report.rows()))
+        if args.out:
+            json_path = os.path.join(args.out, f"{name}.json")
+            csv_path = os.path.join(args.out, f"{name}.csv")
+            write_json(report, json_path)
+            write_csv(report.rows(), csv_path)
+            print(f"   artifacts: {json_path} {csv_path}")
     return 0
 
 

@@ -1,12 +1,18 @@
 """Per-experiment measurement series (the data behind EXPERIMENTS.md).
 
-Each ``exp_*`` function runs a parameter sweep, validates every
-execution against its correctness predicate (a benchmark number is only
-reported for a *correct* run), and returns a list of row dicts whose
-keys become the printed table columns.  The ``bound_ratio`` column of a
-series divides the measured quantity by the theorem's bound expression:
-Table 1's claims hold if the ratios stay bounded by a constant as the
-sweep grows.
+Each experiment is expressed as a :class:`~repro.bench.sweep.SweepSpec`:
+a declarative parameter grid plus a module-level *unit runner* mapping
+one fully-bound parameter dict to one row dict.  The ``exp_*`` wrappers
+(the public surface used by :mod:`repro.bench.runner` and the tests)
+expand the spec and execute it through the sweep scheduler — serially
+by default, or across cores with ``jobs > 1`` — so every table can be
+regenerated in parallel without changing a single row.
+
+Every unit validates its execution against the problem's correctness
+predicate (a benchmark number is only reported for a *correct* run).
+The ``bound_ratio``-style columns divide the measured quantity by the
+theorem's bound expression: Table 1's claims hold if the ratios stay
+bounded by a constant as the sweep grows.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.baselines import (
     NaiveGossipProcess,
 )
 from repro.baselines.ring_gossip import RingGossipProcess
+from repro.bench.sweep import SweepSpec, run_sweep
 from repro.bench.workloads import byzantine_sample, input_vector, rumor_vector, table1_fault_bound
 from repro.core.params import ProtocolParams
 from repro.lowerbounds import divergence_series, isolation_report
@@ -85,352 +92,418 @@ def _gossip_comm_bound(params: ProtocolParams) -> float:
 # -- Table 1 ----------------------------------------------------------------
 
 
-def exp_table1(ns: Optional[list[int]] = None, seed: int = 1) -> list[dict]:
-    """Regenerate Table 1: with ``t`` pinned at each row's optimality
-    boundary, both ``rounds/(t + lg n)`` and ``comm/n`` must stay
-    bounded as ``n`` grows."""
-    ns = ns or [128, 256, 512]
-    rows = []
-    for n in ns:
+def table1_unit(params: dict) -> dict:
+    """One Table 1 cell: ``params`` binds ``problem``, ``n`` and ``seed``."""
+    problem = params["problem"]
+    n = params["n"]
+    seed = params["seed"]
+    t = table1_fault_bound(problem, n)
+    if problem == "consensus":
         # Crash consensus at t = Θ(n / log n); communication = bits.
-        t = table1_fault_bound("consensus", n)
         inputs = input_vector(n, "random", seed)
         result = run_consensus(inputs, t, algorithm="auto", seed=seed)
         check_consensus(result, inputs)
-        params = ProtocolParams(n=n, t=t)
-        rows.append(
-            {
-                "row": "crash/consensus",
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "comm": result.bits,
-                "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
-                "comm/n": round(result.bits / n, 1),
-                "comm/bound": round(result.bits / _consensus_comm_bound(params), 2),
-            }
-        )
-    for n in ns:
-        t = table1_fault_bound("gossip", n)
+        pp = ProtocolParams(n=n, t=t)
+        comm = result.bits
+        bound = _consensus_comm_bound(pp)
+        row_name = "crash/consensus"
+    elif problem == "gossip":
         rumors = rumor_vector(n, seed)
         result = run_gossip(rumors, t, crashes="random", seed=seed)
         check_gossip(result, rumors)
-        params = ProtocolParams(n=n, t=t)
-        rows.append(
-            {
-                "row": "crash/gossip",
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "comm": result.messages,
-                "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
-                "comm/n": round(result.messages / n, 1),
-                "comm/bound": round(result.messages / _gossip_comm_bound(params), 2),
-            }
-        )
-    for n in ns:
-        t = table1_fault_bound("checkpointing", n)
+        pp = ProtocolParams(n=n, t=t)
+        comm = result.messages
+        bound = _gossip_comm_bound(pp)
+        row_name = "crash/gossip"
+    elif problem == "checkpointing":
         result = run_checkpointing(n, t, crashes="random", seed=seed)
         check_checkpointing(result)
-        params = ProtocolParams(n=n, t=t)
-        ckpt_bound = _gossip_comm_bound(params) + _consensus_comm_bound(params)
-        rows.append(
-            {
-                "row": "crash/checkpointing",
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "comm": result.messages,
-                "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
-                "comm/n": round(result.messages / n, 1),
-                "comm/bound": round(result.messages / ckpt_bound, 2),
-            }
-        )
-    for n in ns:
-        t = table1_fault_bound("byzantine", n)
+        pp = ProtocolParams(n=n, t=t)
+        comm = result.messages
+        bound = _gossip_comm_bound(pp) + _consensus_comm_bound(pp)
+        row_name = "crash/checkpointing"
+    elif problem == "byzantine":
         inputs = input_vector(n, "random", seed)
         byz = byzantine_sample(n, t, seed)
         result = run_ab_consensus(inputs, t, byzantine=byz, behaviour="equivocate")
-        rows.append(
-            {
-                "row": "auth-byz/consensus",
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "comm": result.messages,
-                "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
-                "comm/n": round(result.messages / n, 1),
-                "comm/bound": round(result.messages / (30.0 * (t * t + n)), 2),
-            }
-        )
-    return rows
+        comm = result.messages
+        bound = 30.0 * (t * t + n)
+        row_name = "auth-byz/consensus"
+    else:
+        raise ValueError(f"unknown Table 1 problem {problem!r}")
+    return {
+        "row": row_name,
+        "n": n,
+        "t": t,
+        "rounds": result.rounds,
+        "comm": comm,
+        "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
+        "comm/n": round(comm / n, 1),
+        "comm/bound": round(comm / bound, 2),
+    }
+
+
+def table1_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
+    ns = ns or [128, 256, 512]
+    return SweepSpec(
+        name="table1",
+        runner=table1_unit,
+        grid={
+            "problem": ["consensus", "gossip", "checkpointing", "byzantine"],
+            "n": ns,
+            "seed": [seed],
+        },
+        base_seed=seed,
+    )
+
+
+def exp_table1(
+    ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    """Regenerate Table 1: with ``t`` pinned at each row's optimality
+    boundary, both ``rounds/(t + lg n)`` and ``comm/n`` must stay
+    bounded as ``n`` grows."""
+    return run_sweep(table1_spec(ns, seed), jobs=jobs).rows()
 
 
 # -- E5: Theorem 5 (AEA) -------------------------------------------------------
 
 
-def exp_e5_aea(ns: Optional[list[int]] = None, seed: int = 1) -> list[dict]:
+def aea_unit(params: dict) -> dict:
+    n, seed = params["n"], params["seed"]
+    t = n // 6
+    inputs = input_vector(n, "random", seed)
+    result = run_aea(inputs, t, crashes="random", seed=seed)
+    check_aea(result, inputs)
+    deciders = len(result.correct_decisions())
+    return {
+        "n": n,
+        "t": t,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "deciders/n": round((deciders + len(result.crashed)) / n, 3),
+        "rounds/t": round(result.rounds / t, 2),
+        "msgs/(n+t·lg t·d)": round(result.messages / (n + t * _log2(t) * 32), 2),
+    }
+
+
+def aea_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
     ns = ns or [120, 240, 480]
-    rows = []
-    for n in ns:
-        t = n // 6
-        inputs = input_vector(n, "random", seed)
-        result = run_aea(inputs, t, crashes="random", seed=seed)
-        check_aea(result, inputs)
-        deciders = len(result.correct_decisions())
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "bits": result.bits,
-                "deciders/n": round((deciders + len(result.crashed)) / n, 3),
-                "rounds/t": round(result.rounds / t, 2),
-                "msgs/(n+t·lg t·d)": round(
-                    result.messages / (n + t * _log2(t) * 32), 2
-                ),
-            }
-        )
-    return rows
+    return SweepSpec(
+        name="e5", runner=aea_unit, grid={"n": ns, "seed": [seed]}, base_seed=seed
+    )
+
+
+def exp_e5_aea(
+    ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    return run_sweep(aea_spec(ns, seed), jobs=jobs).rows()
 
 
 # -- E6: Theorem 6 (SCV) -------------------------------------------------------
 
 
-def exp_e6_scv(n: int = 400, seed: int = 1) -> list[dict]:
-    rows = []
+def scv_unit(params: dict) -> dict:
     import random as stdlib_random
 
-    for t in (10, 19, 21, 40, 79):  # spans the t² ≤ n crossover at 20
-        params = ProtocolParams(n=n, t=t)
-        rng = stdlib_random.Random(seed)
-        holders = set(rng.sample(range(n), int(0.62 * n)))
-        result = run_scv(n, t, holders, 1, crashes="random", seed=seed)
-        check_scv(result, 1)
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "branch": "direct(t²≤n)" if params.scv_direct_inquiry else "doubling",
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "rounds/lg t": round(result.rounds / _log2(t), 2),
-                "msgs/(n+t·lg t)": round(
-                    result.messages / (n + 20 * t * _log2(t)), 2
-                ),
-            }
-        )
-    return rows
+    n, t, seed = params["n"], params["t"], params["seed"]
+    pp = ProtocolParams(n=n, t=t)
+    rng = stdlib_random.Random(seed)
+    holders = set(rng.sample(range(n), int(0.62 * n)))
+    result = run_scv(n, t, holders, 1, crashes="random", seed=seed)
+    check_scv(result, 1)
+    return {
+        "n": n,
+        "t": t,
+        "branch": "direct(t²≤n)" if pp.scv_direct_inquiry else "doubling",
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "rounds/lg t": round(result.rounds / _log2(t), 2),
+        "msgs/(n+t·lg t)": round(result.messages / (n + 20 * t * _log2(t)), 2),
+    }
+
+
+def scv_spec(n: int = 400, seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="e6",
+        runner=scv_unit,
+        # spans the t² ≤ n crossover at t = √n
+        grid={"t": [10, 19, 21, 40, 79], "n": [n], "seed": [seed]},
+        base_seed=seed,
+    )
+
+
+def exp_e6_scv(n: int = 400, seed: int = 1, jobs: int = 1) -> list[dict]:
+    return run_sweep(scv_spec(n, seed), jobs=jobs).rows()
 
 
 # -- E7: Theorem 7 (Few-Crashes-Consensus) ----------------------------------------
 
 
-def exp_e7_consensus_few(ns: Optional[list[int]] = None, seed: int = 1) -> list[dict]:
+def consensus_few_unit(params: dict) -> dict:
+    n, seed = params["n"], params["seed"]
+    t = params.get("t", n // 6)
+    inputs = input_vector(n, "random", seed)
+    result = run_consensus(inputs, t, algorithm="few", seed=seed)
+    check_consensus(result, inputs)
+    return {
+        "n": n,
+        "t": t,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
+        "bits/(n+t·lg t·d)": round(result.bits / (n + t * _log2(t) * 32), 2),
+    }
+
+
+def consensus_few_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
     ns = ns or [120, 240, 480]
-    rows = []
-    for n in ns:
-        t = n // 6
-        inputs = input_vector(n, "random", seed)
-        result = run_consensus(inputs, t, algorithm="few", seed=seed)
-        check_consensus(result, inputs)
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "bits": result.bits,
-                "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 2),
-                "bits/(n+t·lg t·d)": round(result.bits / (n + t * _log2(t) * 32), 2),
-            }
-        )
-    return rows
+    return SweepSpec(
+        name="e7",
+        runner=consensus_few_unit,
+        grid={"n": ns, "seed": [seed]},
+        base_seed=seed,
+    )
+
+
+def exp_e7_consensus_few(
+    ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    return run_sweep(consensus_few_spec(ns, seed), jobs=jobs).rows()
 
 
 # -- E8: Theorem 8 / Corollary 1 (Many-Crashes-Consensus) ---------------------------
 
 
-def exp_e8_consensus_many(n: int = 96, seed: int = 1) -> list[dict]:
-    rows = []
-    for alpha_pct in (30, 60, 90, 98):
-        t = min(n - 1, max(1, n * alpha_pct // 100))
-        inputs = input_vector(n, "random", seed)
-        result = run_consensus(inputs, t, algorithm="many", seed=seed)
-        check_consensus(result, inputs)
-        base_bound = n + 3 * (1 + _log2(n)) + 7
-        # Degenerate fault patterns (α → 1 with no probing survivor)
-        # trigger the recovery epilogue, adding at most t + 2 rounds;
-        # see DESIGN.md and the Many-Crashes-Consensus docstring.
-        recovery_used = result.rounds > base_bound
-        round_bound = base_bound + (t + 2 if recovery_used else 0)
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "alpha": round(t / n, 2),
-                "rounds": result.rounds,
-                "round_bound(n+3(1+lg n))": int(round_bound),
-                "recovery": "yes" if recovery_used else "no",
-                "messages": result.messages,
-                "bits": result.bits,
-                "rounds/bound": round(result.rounds / round_bound, 2),
-            }
-        )
-    return rows
+def consensus_many_unit(params: dict) -> dict:
+    n, alpha_pct, seed = params["n"], params["alpha_pct"], params["seed"]
+    t = min(n - 1, max(1, n * alpha_pct // 100))
+    inputs = input_vector(n, "random", seed)
+    result = run_consensus(inputs, t, algorithm="many", seed=seed)
+    check_consensus(result, inputs)
+    base_bound = n + 3 * (1 + _log2(n)) + 7
+    # Degenerate fault patterns (α → 1 with no probing survivor)
+    # trigger the recovery epilogue, adding at most t + 2 rounds;
+    # see DESIGN.md and the Many-Crashes-Consensus docstring.
+    recovery_used = result.rounds > base_bound
+    round_bound = base_bound + (t + 2 if recovery_used else 0)
+    return {
+        "n": n,
+        "t": t,
+        "alpha": round(t / n, 2),
+        "rounds": result.rounds,
+        "round_bound(n+3(1+lg n))": int(round_bound),
+        "recovery": "yes" if recovery_used else "no",
+        "messages": result.messages,
+        "bits": result.bits,
+        "rounds/bound": round(result.rounds / round_bound, 2),
+    }
+
+
+def consensus_many_spec(n: int = 96, seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="e8",
+        runner=consensus_many_unit,
+        grid={"alpha_pct": [30, 60, 90, 98], "n": [n], "seed": [seed]},
+        base_seed=seed,
+    )
+
+
+def exp_e8_consensus_many(n: int = 96, seed: int = 1, jobs: int = 1) -> list[dict]:
+    return run_sweep(consensus_many_spec(n, seed), jobs=jobs).rows()
 
 
 # -- E9: Theorem 9 (Gossip) -----------------------------------------------------
 
 
-def exp_e9_gossip(ns: Optional[list[int]] = None, seed: int = 1) -> list[dict]:
+def gossip_unit(params: dict) -> dict:
+    n, seed = params["n"], params["seed"]
+    t = params.get("t", n // 10)
+    rumors = rumor_vector(n, seed)
+    result = run_gossip(rumors, t, crashes="random", seed=seed)
+    check_gossip(result, rumors)
+    return {
+        "n": n,
+        "t": t,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "rounds/(lg n·lg t)": round(result.rounds / (_log2(n) * _log2(t)), 2),
+        "msgs/bound": round(
+            result.messages / _gossip_comm_bound(ProtocolParams(n=n, t=t)), 2
+        ),
+    }
+
+
+def gossip_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
     ns = ns or [120, 240, 480]
-    rows = []
-    for n in ns:
-        t = n // 10
-        rumors = rumor_vector(n, seed)
-        result = run_gossip(rumors, t, crashes="random", seed=seed)
-        check_gossip(result, rumors)
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "rounds/(lg n·lg t)": round(
-                    result.rounds / (_log2(n) * _log2(t)), 2
-                ),
-                "msgs/bound": round(
-                    result.messages / _gossip_comm_bound(ProtocolParams(n=n, t=t)), 2
-                ),
-            }
-        )
-    return rows
+    return SweepSpec(
+        name="e9", runner=gossip_unit, grid={"n": ns, "seed": [seed]}, base_seed=seed
+    )
+
+
+def exp_e9_gossip(
+    ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    return run_sweep(gossip_spec(ns, seed), jobs=jobs).rows()
 
 
 # -- E10: Theorem 10 (Checkpointing) -----------------------------------------------
 
 
-def exp_e10_checkpointing(ns: Optional[list[int]] = None, seed: int = 1) -> list[dict]:
+def checkpointing_unit(params: dict) -> dict:
+    n, seed = params["n"], params["seed"]
+    t = params.get("t", n // 10)
+    result = run_checkpointing(n, t, crashes="random", seed=seed)
+    check_checkpointing(result)
+    baseline_procs = [NaiveCheckpointingProcess(i, n, t) for i in range(n)]
+    baseline = Engine(
+        baseline_procs, crash_schedule(n, t, seed=seed, max_round=t + 2)
+    ).run()
+    check_checkpointing(baseline)
+    return {
+        "n": n,
+        "t": t,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "naive_msgs(n²t)": baseline.messages,
+        "msg_ratio(naive/paper)": round(baseline.messages / result.messages, 2),
+        "rounds/(t+lgn·lgt)": round(result.rounds / (t + _log2(n) * _log2(t)), 2),
+    }
+
+
+def checkpointing_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
     ns = ns or [100, 200, 400]
-    rows = []
-    for n in ns:
-        t = n // 10
-        result = run_checkpointing(n, t, crashes="random", seed=seed)
-        check_checkpointing(result)
-        baseline_procs = [NaiveCheckpointingProcess(i, n, t) for i in range(n)]
-        baseline = Engine(
-            baseline_procs, crash_schedule(n, t, seed=seed, max_round=t + 2)
-        ).run()
-        check_checkpointing(baseline)
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "naive_msgs(n²t)": baseline.messages,
-                "msg_ratio(naive/paper)": round(baseline.messages / result.messages, 2),
-                "rounds/(t+lgn·lgt)": round(
-                    result.rounds / (t + _log2(n) * _log2(t)), 2
-                ),
-            }
-        )
-    return rows
+    return SweepSpec(
+        name="e10",
+        runner=checkpointing_unit,
+        grid={"n": ns, "seed": [seed]},
+        base_seed=seed,
+    )
+
+
+def exp_e10_checkpointing(
+    ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    return run_sweep(checkpointing_spec(ns, seed), jobs=jobs).rows()
 
 
 # -- E11: Theorem 11 (AB-Consensus) --------------------------------------------------
 
 
-def exp_e11_byzantine(n: int = 400, seed: int = 1) -> list[dict]:
-    rows = []
-    for t in (5, 10, 20, 40):  # √n = 20: the linear-communication crossover
-        inputs = input_vector(n, "random", seed)
-        byz = byzantine_sample(n, t, seed)
-        result = run_ab_consensus(inputs, t, byzantine=byz, behaviour="equivocate")
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "t²/n": round(t * t / n, 2),
-                "rounds": result.rounds,
-                "messages": result.messages,
-                "rounds/t": round(result.rounds / t, 2),
-                "msgs/(t²+n)": round(result.messages / (t * t + n), 2),
-                "msgs/n": round(result.messages / n, 2),
-            }
-        )
-    return rows
+def byzantine_unit(params: dict) -> dict:
+    n, t, seed = params["n"], params["t"], params["seed"]
+    inputs = input_vector(n, "random", seed)
+    byz = byzantine_sample(n, t, seed)
+    result = run_ab_consensus(inputs, t, byzantine=byz, behaviour="equivocate")
+    return {
+        "n": n,
+        "t": t,
+        "t²/n": round(t * t / n, 2),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "rounds/t": round(result.rounds / t, 2),
+        "msgs/(t²+n)": round(result.messages / (t * t + n), 2),
+        "msgs/n": round(result.messages / n, 2),
+    }
+
+
+def byzantine_spec(n: int = 400, seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="e11",
+        runner=byzantine_unit,
+        # √n = 20: the linear-communication crossover
+        grid={"t": [5, 10, 20, 40], "n": [n], "seed": [seed]},
+        base_seed=seed,
+    )
+
+
+def exp_e11_byzantine(n: int = 400, seed: int = 1, jobs: int = 1) -> list[dict]:
+    return run_sweep(byzantine_spec(n, seed), jobs=jobs).rows()
 
 
 # -- E12: Theorem 12 (single-port Linear-Consensus) ------------------------------------
 
 
-def exp_e12_singleport(ns: Optional[list[int]] = None, seed: int = 1) -> list[dict]:
+def singleport_unit(params: dict) -> dict:
+    n, seed = params["n"], params["seed"]
+    t = n // 8
+    pp = ProtocolParams(n=n, t=t, seed=3)
+    schedule, shared = linear_consensus_schedule(pp)
+    inputs = input_vector(n, "random", seed)
+    processes = [
+        LinearConsensusProcess(pid, pp, inputs[pid], schedule=schedule, shared=shared)
+        for pid in range(n)
+    ]
+    adversary = crash_schedule(n, t, seed=seed, max_round=schedule.end)
+    result = SinglePortEngine(processes, adversary).run()
+    check_consensus(result, inputs)
+    return {
+        "n": n,
+        "t": t,
+        "sp_rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 1),
+        "bits/(n+t·lg n·d)": round(result.bits / (n + 32 * t * _log2(n)), 2),
+    }
+
+
+def singleport_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
     ns = ns or [60, 120, 240]
-    rows = []
-    for n in ns:
-        t = n // 8
-        params = ProtocolParams(n=n, t=t, seed=3)
-        schedule, shared = linear_consensus_schedule(params)
-        inputs = input_vector(n, "random", seed)
-        processes = [
-            LinearConsensusProcess(
-                pid, params, inputs[pid], schedule=schedule, shared=shared
-            )
-            for pid in range(n)
-        ]
-        adversary = crash_schedule(n, t, seed=seed, max_round=schedule.end)
-        result = SinglePortEngine(processes, adversary).run()
-        check_consensus(result, inputs)
-        rows.append(
-            {
-                "n": n,
-                "t": t,
-                "sp_rounds": result.rounds,
-                "messages": result.messages,
-                "bits": result.bits,
-                "rounds/(t+lg n)": round(result.rounds / (t + _log2(n)), 1),
-                "bits/(n+t·lg n·d)": round(result.bits / (n + 32 * t * _log2(n)), 2),
-            }
-        )
-    return rows
+    return SweepSpec(
+        name="e12",
+        runner=singleport_unit,
+        grid={"n": ns, "seed": [seed]},
+        base_seed=seed,
+    )
+
+
+def exp_e12_singleport(
+    ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    return run_sweep(singleport_spec(ns, seed), jobs=jobs).rows()
 
 
 # -- E13: Theorem 13 (lower bounds) ----------------------------------------------------
 
 
-def exp_e13_lowerbounds(seed: int = 1) -> list[dict]:
-    rows = []
-    n = 60
-    for t in (8, 16, 24):
-        factory = lambda rumors: [RingGossipProcess(i, n, rumors[i]) for i in range(n)]
+def lowerbounds_unit(params: dict) -> dict:
+    kind = params["kind"]
+    if kind == "gossip_isolation":
+        n, t = params["n"], params["t"]
+        factory = lambda rumors: [
+            RingGossipProcess(i, n, rumors[i]) for i in range(n)
+        ]
         rumors_a = ["x"] * n
         rumors_b = ["x"] * n
         rumors_b[7] = "y"
         report = isolation_report(factory, rumors_a, rumors_b, t, victim=0)
-        rows.append(
-            {
-                "experiment": f"gossip isolation (t={t})",
-                "measured": report.isolated_rounds,
-                "bound": t // 2,
-                "detail": f"crashes used {report.crashes_used}, digests matched {report.digests_matched}",
-            }
-        )
-    n = 40
-    params = ProtocolParams(n=n, t=3, seed=3)
-    schedule, shared = linear_consensus_schedule(params)
+        return {
+            "experiment": f"gossip isolation (t={t})",
+            "measured": report.isolated_rounds,
+            "bound": t // 2,
+            "detail": (
+                f"crashes used {report.crashes_used}, "
+                f"digests matched {report.digests_matched}"
+            ),
+        }
+    if kind == "divergence":
+        n = params["n"]
+        pp = ProtocolParams(n=n, t=3, seed=3)
+        schedule, shared = linear_consensus_schedule(pp)
 
-    def factory(inputs):
-        return [
-            LinearConsensusProcess(pid, params, inputs[pid], schedule=schedule, shared=shared)
-            for pid in range(n)
-        ]
+        def factory(inputs):
+            return [
+                LinearConsensusProcess(
+                    pid, pp, inputs[pid], schedule=schedule, shared=shared
+                )
+                for pid in range(n)
+            ]
 
-    report = divergence_series(factory, n)
-    rows.append(
-        {
+        report = divergence_series(factory, n)
+        return {
             "experiment": f"consensus divergence (n={n})",
             "measured": report.first_decision_round,
             "bound": round(math.log(n, 3), 1),
@@ -439,25 +512,42 @@ def exp_e13_lowerbounds(seed: int = 1) -> list[dict]:
                 f"{report.respects_cubic_bound()}"
             ),
         }
+    raise ValueError(f"unknown lower-bound experiment kind {kind!r}")
+
+
+def lowerbounds_spec(seed: int = 1) -> SweepSpec:
+    # Heterogeneous units: a rectangular grid cannot mix the isolation
+    # t-sweep with the single divergence run, so list them explicitly.
+    units = [
+        {"kind": "gossip_isolation", "n": 60, "t": t, "seed": seed}
+        for t in (8, 16, 24)
+    ]
+    units.append({"kind": "divergence", "n": 40, "seed": seed})
+    return SweepSpec(
+        name="e13", runner=lowerbounds_unit, units=units, base_seed=seed
     )
-    return rows
+
+
+def exp_e13_lowerbounds(seed: int = 1, jobs: int = 1) -> list[dict]:
+    return run_sweep(lowerbounds_spec(seed), jobs=jobs).rows()
 
 
 # -- Baseline cross-comparison ---------------------------------------------------------
 
 
-def exp_baselines(n: int = 240, seed: int = 1) -> list[dict]:
+def baselines_unit(params: dict) -> dict:
+    problem, n, seed = params["problem"], params["n"], params["seed"]
     t = n // 10
-    inputs = input_vector(n, "random", seed)
-    rows = []
-
-    paper = run_consensus(inputs, t, algorithm="few", seed=seed)
-    check_consensus(paper, inputs)
-    procs = [FloodingConsensusProcess(i, n, t, inputs[i]) for i in range(n)]
-    flooding = Engine(procs, crash_schedule(n, t, seed=seed, max_round=t + 1)).run()
-    check_consensus(flooding, inputs)
-    rows.append(
-        {
+    if problem == "consensus":
+        inputs = input_vector(n, "random", seed)
+        paper = run_consensus(inputs, t, algorithm="few", seed=seed)
+        check_consensus(paper, inputs)
+        procs = [FloodingConsensusProcess(i, n, t, inputs[i]) for i in range(n)]
+        flooding = Engine(
+            procs, crash_schedule(n, t, seed=seed, max_round=t + 1)
+        ).run()
+        check_consensus(flooding, inputs)
+        return {
             "problem": "consensus",
             "paper_msgs": paper.messages,
             "baseline_msgs": flooding.messages,
@@ -465,42 +555,57 @@ def exp_baselines(n: int = 240, seed: int = 1) -> list[dict]:
             "paper_rounds": paper.rounds,
             "baseline_rounds": flooding.rounds,
         }
-    )
-
-    # Gossip is compared at its Table 1 boundary t = Θ(n / log² n): that
-    # is where the linear-communication claim lives (at t = n/10 the
-    # committee-degree constant still dominates at simulation sizes).
-    gossip_t = table1_fault_bound("gossip", n)
-    rumors = rumor_vector(n, seed)
-    paper_gossip = run_gossip(rumors, gossip_t, crashes="random", seed=seed)
-    check_gossip(paper_gossip, rumors)
-    gprocs = [NaiveGossipProcess(i, n, rumors[i]) for i in range(n)]
-    naive_gossip = Engine(
-        gprocs, crash_schedule(n, gossip_t, seed=seed, max_round=2)
-    ).run()
-    rows.append(
-        {
+    if problem == "gossip":
+        # Gossip is compared at its Table 1 boundary t = Θ(n / log² n):
+        # that is where the linear-communication claim lives (at t = n/10
+        # the committee-degree constant still dominates at simulation
+        # sizes).
+        gossip_t = table1_fault_bound("gossip", n)
+        rumors = rumor_vector(n, seed)
+        paper = run_gossip(rumors, gossip_t, crashes="random", seed=seed)
+        check_gossip(paper, rumors)
+        gprocs = [NaiveGossipProcess(i, n, rumors[i]) for i in range(n)]
+        naive = Engine(
+            gprocs, crash_schedule(n, gossip_t, seed=seed, max_round=2)
+        ).run()
+        return {
             "problem": f"gossip (t={gossip_t})",
-            "paper_msgs": paper_gossip.messages,
-            "baseline_msgs": naive_gossip.messages,
+            "paper_msgs": paper.messages,
+            "baseline_msgs": naive.messages,
             "baseline": "all-to-all exchange",
-            "paper_rounds": paper_gossip.rounds,
-            "baseline_rounds": naive_gossip.rounds,
+            "paper_rounds": paper.rounds,
+            "baseline_rounds": naive.rounds,
         }
+    if problem == "checkpointing":
+        paper = run_checkpointing(n, t, crashes="random", seed=seed)
+        check_checkpointing(paper)
+        cprocs = [NaiveCheckpointingProcess(i, n, t) for i in range(n)]
+        naive = Engine(
+            cprocs, crash_schedule(n, t, seed=seed, max_round=t + 2)
+        ).run()
+        return {
+            "problem": "checkpointing",
+            "paper_msgs": paper.messages,
+            "baseline_msgs": naive.messages,
+            "baseline": "ping + mask AND-flooding (n²t)",
+            "paper_rounds": paper.rounds,
+            "baseline_rounds": naive.rounds,
+        }
+    raise ValueError(f"unknown baseline problem {problem!r}")
+
+
+def baselines_spec(n: int = 240, seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="baselines",
+        runner=baselines_unit,
+        grid={
+            "problem": ["consensus", "gossip", "checkpointing"],
+            "n": [n],
+            "seed": [seed],
+        },
+        base_seed=seed,
     )
 
-    paper_ckpt = run_checkpointing(n, t, crashes="random", seed=seed)
-    check_checkpointing(paper_ckpt)
-    cprocs = [NaiveCheckpointingProcess(i, n, t) for i in range(n)]
-    naive_ckpt = Engine(cprocs, crash_schedule(n, t, seed=seed, max_round=t + 2)).run()
-    rows.append(
-        {
-            "problem": "checkpointing",
-            "paper_msgs": paper_ckpt.messages,
-            "baseline_msgs": naive_ckpt.messages,
-            "baseline": "ping + mask AND-flooding (n²t)",
-            "paper_rounds": paper_ckpt.rounds,
-            "baseline_rounds": naive_ckpt.rounds,
-        }
-    )
-    return rows
+
+def exp_baselines(n: int = 240, seed: int = 1, jobs: int = 1) -> list[dict]:
+    return run_sweep(baselines_spec(n, seed), jobs=jobs).rows()

@@ -1,0 +1,292 @@
+"""Declarative parallel experiment sweeps.
+
+The paper's claims are asymptotic, so checking them empirically means
+running dense (n, t, crash-kind, seed, algorithm) grids — far more
+executions than a serial loop handles comfortably.  This module turns a
+declarative grid into independent work units, fans them out across
+cores with :mod:`multiprocessing`, collects the results in declaration
+order, and serialises them as JSON/CSV artifacts for trajectory
+tracking.
+
+Determinism contract
+--------------------
+A sweep's output depends only on its spec, never on the worker count:
+
+* units are expanded in a fixed order (cartesian product over the grid
+  axes in declaration order, last axis varying fastest);
+* every unit that does not pin a ``seed`` gets one derived from the
+  spec's ``base_seed`` and the unit's own parameters via
+  :func:`derive_seed` — a pure function of the unit, independent of
+  expansion order and of which worker executes it;
+* results are collected with ``Pool.imap``, which preserves submission
+  order, so ``run_sweep(spec, jobs=4)`` returns rows identical to
+  ``run_sweep(spec, jobs=1)`` (pinned by ``tests/test_sweep.py``).
+
+Work units must be picklable: spec runners are module-level functions
+taking one ``params`` dict and returning one row dict.
+
+>>> spec = SweepSpec(
+...     name="demo",
+...     runner=describe_unit,
+...     grid={"n": [2, 4], "kind": "demo", "seed": [7]},
+... )
+>>> [row["n"] for row in run_sweep(spec).rows()]
+[2, 4]
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+__all__ = [
+    "SweepOutcome",
+    "SweepReport",
+    "SweepSpec",
+    "SweepUnit",
+    "derive_seed",
+    "describe_unit",
+    "expand_grid",
+    "read_csv",
+    "read_json",
+    "run_sweep",
+    "union_columns",
+    "write_csv",
+    "write_json",
+]
+
+
+def derive_seed(base_seed: int, key: Any) -> int:
+    """A deterministic 32-bit seed from ``base_seed`` and a unit key.
+
+    The key is canonicalised (mappings are sorted by key) and hashed, so
+    the result is a pure function of the unit's parameters: independent
+    of grid declaration order, expansion index, worker id and Python
+    hash randomisation.
+
+    >>> derive_seed(1, {"n": 8, "t": 2}) == derive_seed(1, {"t": 2, "n": 8})
+    True
+    >>> derive_seed(1, {"n": 8}) != derive_seed(2, {"n": 8})
+    True
+    """
+    if isinstance(key, Mapping):
+        key = tuple(sorted((str(k), repr(v)) for k, v in key.items()))
+    material = repr((base_seed, key)).encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:4], "big")
+
+
+def expand_grid(grid: Mapping[str, Any]) -> list[dict]:
+    """Expand a declarative grid into unit-parameter dicts.
+
+    Axes combine as a cartesian product in declaration order with the
+    last axis varying fastest (row-major, like nested for-loops).  A
+    scalar axis value is treated as a single-point axis, so fixed
+    parameters can be declared inline.
+
+    >>> expand_grid({"a": [1, 2], "b": "x"})
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    axes = []
+    for name, values in grid.items():
+        if isinstance(values, (str, bytes)) or not isinstance(
+            values, (list, tuple, range)
+        ):
+            values = (values,)
+        axes.append([(name, value) for value in values])
+    return [dict(combo) for combo in itertools.product(*axes)]
+
+
+@dataclass
+class SweepUnit:
+    """One independent execution of a sweep: a fully bound parameter set."""
+
+    index: int
+    experiment: str
+    params: dict
+
+
+@dataclass
+class SweepOutcome:
+    """The result of one executed :class:`SweepUnit`."""
+
+    unit: SweepUnit
+    row: dict
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: what to run and over which parameter grid.
+
+    Parameters
+    ----------
+    name:
+        Experiment identifier, used in artifact metadata and filenames.
+    runner:
+        A **module-level** (picklable) function mapping one unit-params
+        dict to one row dict.  Exceptions propagate and abort the sweep:
+        a benchmark row is only meaningful for a correct run.
+    grid:
+        Declarative axes for :func:`expand_grid`.  Ignored when
+        ``units`` is given.
+    units:
+        Explicit unit-parameter dicts for heterogeneous sweeps that a
+        rectangular grid cannot express (e.g. the Theorem 13 series,
+        which mixes isolation and divergence experiments).
+    base_seed:
+        Seed material for units that do not pin ``"seed"`` themselves;
+        see :func:`derive_seed`.
+    """
+
+    name: str
+    runner: Callable[[dict], dict]
+    grid: Optional[Mapping[str, Any]] = None
+    units: Optional[Sequence[Mapping[str, Any]]] = None
+    base_seed: int = 1
+
+    def expand(self) -> list[SweepUnit]:
+        """Materialise the ordered work-unit list, seeding each unit."""
+        if self.units is not None:
+            param_sets = [dict(params) for params in self.units]
+        elif self.grid is not None:
+            param_sets = expand_grid(self.grid)
+        else:
+            raise ValueError(f"sweep {self.name!r} declares neither grid nor units")
+        expanded = []
+        for index, params in enumerate(param_sets):
+            if "seed" not in params:
+                params["seed"] = derive_seed(self.base_seed, params)
+            expanded.append(
+                SweepUnit(index=index, experiment=self.name, params=params)
+            )
+        return expanded
+
+
+@dataclass
+class SweepReport:
+    """Ordered outcomes of one sweep plus artifact serialisation."""
+
+    name: str
+    outcomes: list[SweepOutcome]
+    jobs: int = 1
+    elapsed: float = 0.0
+    #: extra metadata recorded into the JSON artifact (git rev, host, ...)
+    meta: dict = field(default_factory=dict)
+
+    def rows(self) -> list[dict]:
+        """The result rows in unit order (what the text table prints)."""
+        return [outcome.row for outcome in self.outcomes]
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.name,
+            "jobs": self.jobs,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "meta": dict(self.meta),
+            "units": [
+                {
+                    "index": outcome.unit.index,
+                    "params": outcome.unit.params,
+                    "row": outcome.row,
+                    "elapsed_seconds": round(outcome.elapsed, 3),
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def _execute_unit(task: tuple[Callable[[dict], dict], SweepUnit]) -> SweepOutcome:
+    runner, unit = task
+    started = time.perf_counter()
+    row = runner(dict(unit.params))
+    return SweepOutcome(unit=unit, row=row, elapsed=time.perf_counter() - started)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    *,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> SweepReport:
+    """Execute every unit of ``spec`` and return the ordered report.
+
+    ``jobs`` caps worker processes; ``jobs <= 1`` (or a single unit)
+    runs inline in this process, which keeps tracebacks direct and
+    avoids pool startup for trivial sweeps.  Parallel execution uses
+    ``Pool.imap`` so outcomes arrive in unit order regardless of which
+    worker finishes first.
+    """
+    units = spec.expand()
+    tasks = [(spec.runner, unit) for unit in units]
+    started = time.perf_counter()
+    if jobs <= 1 or len(units) <= 1:
+        outcomes = [_execute_unit(task) for task in tasks]
+        used = 1
+    else:
+        used = min(jobs, len(units))
+        with multiprocessing.get_context().Pool(used) as pool:
+            outcomes = list(pool.imap(_execute_unit, tasks))
+    return SweepReport(
+        name=spec.name,
+        outcomes=outcomes,
+        jobs=used,
+        elapsed=time.perf_counter() - started,
+        meta=dict(meta or {}),
+    )
+
+
+def describe_unit(params: dict) -> dict:
+    """A trivial sweep runner that echoes its parameters (doctest/demo)."""
+    return dict(params)
+
+
+# -- artifacts ---------------------------------------------------------------
+
+
+def union_columns(rows: Sequence[Mapping[str, Any]]) -> list[str]:
+    """All row keys, ordered by first appearance across the whole list.
+
+    Rows produced by heterogeneous sweeps need not share a key set; a
+    table or CSV header must cover the union, not just the first row.
+    """
+    columns: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key)
+    return list(columns)
+
+
+def write_json(report: SweepReport, path: str | os.PathLike) -> None:
+    """Serialise a full report (params + rows + timings) as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, default=str)
+        handle.write("\n")
+
+
+def read_json(path: str | os.PathLike) -> dict:
+    """Load a :func:`write_json` artifact back into a plain dict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_csv(rows: Sequence[Mapping[str, Any]], path: str | os.PathLike) -> None:
+    """Write result rows as CSV with a union-of-columns header."""
+    columns = union_columns(rows)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def read_csv(path: str | os.PathLike) -> list[dict]:
+    """Load a :func:`write_csv` artifact; cell values come back as str."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]

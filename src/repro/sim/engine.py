@@ -28,6 +28,24 @@ directly to the earliest such round (or the next scheduled crash).  This
 is purely a simulator-cost optimisation; protocols are written against
 absolute round numbers so observable behaviour is identical (covered by
 tests comparing fast-forward on/off).
+
+Hot path
+--------
+The engine carries two interchangeable round-loop implementations:
+
+* the **optimized** path (default) batches metric recording per sender
+  per round, shares one ``(src, payload)`` envelope across a
+  multicast's recipients, reuses preallocated inbox lists, caches
+  :func:`~repro.sim.process.payload_bits` per payload object within a
+  round, and walks an incrementally-maintained list of active (neither
+  crashed nor halted) processes instead of testing membership per
+  process per phase;
+* the **reference** path (``Engine(..., optimized=False)``) is the
+  original straight-line loop kept as the executable specification.
+
+Both paths produce identical rounds/messages/bits, per-node and
+per-round tallies, decisions and crash sets; ``tests/test_engine_parity.py``
+pins this for every protocol family.
 """
 
 from __future__ import annotations
@@ -37,7 +55,13 @@ from typing import Any, Optional, Sequence
 
 from repro.sim.adversary import CrashAdversary, NoFailures
 from repro.sim.metrics import Metrics
-from repro.sim.process import Multicast, Process, ProtocolError, payload_bits
+from repro.sim.process import (
+    Multicast,
+    Process,
+    ProtocolError,
+    payload_bits,
+    payload_bits_cached,
+)
 
 __all__ = ["Engine", "RunResult"]
 
@@ -101,6 +125,10 @@ class Engine:
         Safety bound; exceeding it marks the run as not completed.
     fast_forward:
         Enable quiescence skipping (see module docstring).
+    optimized:
+        Select the batched hot-path round loop (default) or the
+        straight-line reference loop; both are observably identical
+        (see the module docstring).
     """
 
     def __init__(
@@ -111,6 +139,7 @@ class Engine:
         byzantine: frozenset[int] = frozenset(),
         max_rounds: int = 100_000,
         fast_forward: bool = True,
+        optimized: bool = True,
     ):
         for index, proc in enumerate(processes):
             if proc.pid != index:
@@ -124,6 +153,7 @@ class Engine:
         self.byzantine = frozenset(byzantine)
         self.max_rounds = max_rounds
         self.fast_forward = fast_forward
+        self.optimized = optimized
         self.metrics = Metrics()
         self.crashed: set[int] = set()
         self.round: int = 0
@@ -150,6 +180,40 @@ class Engine:
         for proc in self.processes:
             proc.on_start()
 
+        if self.optimized:
+            completed, last_active_round = self._loop_optimized(observer)
+        else:
+            completed, last_active_round = self._loop_reference(observer)
+
+        if not completed:
+            # Either max_rounds was hit, or every process crashed.
+            if all(
+                proc.pid in self.crashed or proc.pid in self.byzantine
+                for proc in self.processes
+            ):
+                completed = True
+                self.metrics.rounds = max(last_active_round + 1, 0)
+
+        result = RunResult(
+            processes=self.processes,
+            metrics=self.metrics,
+            crashed=set(self.crashed),
+            byzantine=self.byzantine,
+            completed=completed,
+        )
+        for proc in self.processes:
+            if proc.decided:
+                result.decisions[proc.pid] = proc.decision
+        return result
+
+    # -- round loops ------------------------------------------------------
+
+    def _loop_reference(self, observer) -> tuple[bool, int]:
+        """The original straight-line round loop (executable spec).
+
+        Returns ``(completed, last_active_round)``; on non-completion the
+        caller applies the everyone-crashed fixup shared by both paths.
+        """
         rnd = 0
         completed = False
         last_active_round = -1
@@ -212,27 +276,162 @@ class Engine:
             rnd = self._advance(rnd, delivered_any)
         else:
             self.metrics.rounds = self.max_rounds
+        return completed, last_active_round
 
-        if not completed:
-            # Either max_rounds was hit, or every process crashed.
-            if all(
-                proc.pid in self.crashed or proc.pid in self.byzantine
-                for proc in self.processes
+    def _loop_optimized(self, observer) -> tuple[bool, int]:
+        """Batched hot-path round loop; observably identical to
+        :meth:`_loop_reference` (see module docstring and the parity
+        tests)."""
+        n = self.n
+        metrics = self.metrics
+        byzantine = self.byzantine
+        crashed = self.crashed
+        # One append buffer per destination (indexed by pid, replacing
+        # the reference path's dict+setdefault per message).  A buffer
+        # that received messages is handed to its consumer and then
+        # *abandoned* (replaced with a fresh list), and empty receivers
+        # get a fresh list instead of the buffer, so a process that
+        # retains its inbox reference never observes reuse.
+        inboxes: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+        # id(payload) -> (payload, bits); pins the payload so ids cannot
+        # be recycled while cached.  Cleared every round.
+        bits_cache: dict[int, tuple[Any, int]] = {}
+        active = [
+            p for p in self.processes if p.pid not in crashed and not p.halted
+        ]
+
+        rnd = 0
+        completed = False
+        last_active_round = -1
+        while rnd < self.max_rounds:
+            self.round = rnd
+
+            crashing = self.adversary.crashes_for_round(rnd, self)
+            membership_dirty = bool(crashing)
+            if crashing:
+                for pid in crashing:
+                    if pid in byzantine:
+                        raise ProtocolError(
+                            f"adversary attempted to crash Byzantine node {pid}"
+                        )
+
+            # Send phase.
+            bits_cache.clear()
+            touched: list[int] = []
+            delivered_any = False
+            for proc in active:
+                pid = proc.pid
+                if proc.halted:
+                    # Halted since the last membership rebuild (e.g.
+                    # during on_start); skip, mirroring the reference.
+                    membership_dirty = True
+                    continue
+                if crashing and pid in crashing:
+                    # Crash-round partial sends take the slow path.
+                    groups = self._collect_sends(proc, rnd, crashing[pid])
+                    crashed.add(pid)
+                    if not groups:
+                        continue
+                    counted = pid not in byzantine
+                    for dsts, payload in groups:
+                        bits_each = payload_bits_cached(payload, bits_cache)
+                        metrics.record_send(
+                            pid, len(dsts), bits_each * len(dsts), rnd, counted
+                        )
+                        envelope = (pid, payload)
+                        for dst in dsts:
+                            box = inboxes[dst]
+                            if not box:
+                                touched.append(dst)
+                            box.append(envelope)
+                    delivered_any = True
+                    continue
+                msg_total = 0
+                bit_total = 0
+                for item in proc.send(rnd):
+                    if isinstance(item, Multicast):
+                        dsts = item.dsts
+                        payload = item.payload
+                        width = len(dsts)
+                        if width == 0:
+                            continue
+                        if min(dsts) < 0 or max(dsts) >= n:
+                            bad = next(
+                                d for d in dsts if not (0 <= d < n)
+                            )
+                            raise ProtocolError(
+                                f"process {pid} sent to invalid pid {bad}"
+                            )
+                        bits_each = payload_bits_cached(payload, bits_cache)
+                        msg_total += width
+                        bit_total += bits_each * width
+                        envelope = (pid, payload)
+                        for dst in dsts:
+                            box = inboxes[dst]
+                            if not box:
+                                touched.append(dst)
+                            box.append(envelope)
+                    else:
+                        dst, payload = item
+                        if dst < 0 or dst >= n:
+                            raise ProtocolError(
+                                f"process {pid} sent to invalid pid {dst}"
+                            )
+                        msg_total += 1
+                        bit_total += payload_bits_cached(payload, bits_cache)
+                        box = inboxes[dst]
+                        if not box:
+                            touched.append(dst)
+                        box.append((pid, payload))
+                if msg_total:
+                    metrics.record_send(
+                        pid, msg_total, bit_total, rnd, pid not in byzantine
+                    )
+                    delivered_any = True
+
+            # Receive phase.
+            for proc in active:
+                if proc.halted:
+                    membership_dirty = True
+                    continue
+                pid = proc.pid
+                if crashing and pid in crashed:
+                    continue
+                box = inboxes[pid]
+                proc.receive(rnd, box if box else [])
+                if proc.halted:
+                    membership_dirty = True
+
+            # Abandon delivered inboxes to their consumers.
+            for dst in touched:
+                inboxes[dst] = []
+
+            if delivered_any:
+                last_active_round = rnd
+
+            if observer is not None:
+                observer(rnd, self.processes)
+
+            if membership_dirty:
+                active = [
+                    p
+                    for p in active
+                    if not p.halted and p.pid not in crashed
+                ]
+
+            # Termination: all operational non-Byzantine halted, i.e.
+            # only Byzantine processes remain active.
+            if not active or (
+                byzantine and all(p.pid in byzantine for p in active)
             ):
+                self.metrics.rounds = rnd + 1
                 completed = True
-                self.metrics.rounds = max(last_active_round + 1, 0)
+                break
 
-        result = RunResult(
-            processes=self.processes,
-            metrics=self.metrics,
-            crashed=set(self.crashed),
-            byzantine=self.byzantine,
-            completed=completed,
-        )
-        for proc in self.processes:
-            if proc.decided:
-                result.decisions[proc.pid] = proc.decision
-        return result
+            rnd = self._advance_active(rnd, delivered_any, active)
+        else:
+            self.metrics.rounds = self.max_rounds
+        return completed, last_active_round
 
     # -- internals --------------------------------------------------------
 
@@ -298,6 +497,28 @@ class Engine:
             nxt = min(nxt, wake)
             if nxt == rnd + 1:
                 return rnd + 1
+        crash_event = self.adversary.next_event_round(rnd)
+        if crash_event is not None:
+            nxt = min(nxt, max(crash_event, rnd + 1))
+        return max(rnd + 1, nxt)
+
+    def _advance_active(
+        self, rnd: int, delivered_any: bool, active: Sequence[Process]
+    ) -> int:
+        """:meth:`_advance` over a pre-filtered active-process list."""
+        if not self.fast_forward or delivered_any:
+            return rnd + 1
+        nxt = self.max_rounds
+        for proc in active:
+            wake = proc.next_activity(rnd)
+            if wake <= rnd:
+                raise ProtocolError(
+                    f"process {proc.pid} declared next_activity {wake} <= {rnd}"
+                )
+            if wake < nxt:
+                nxt = wake
+                if nxt == rnd + 1:
+                    break
         crash_event = self.adversary.next_event_round(rnd)
         if crash_event is not None:
             nxt = min(nxt, max(crash_event, rnd + 1))

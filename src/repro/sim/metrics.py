@@ -20,9 +20,18 @@ from dataclasses import dataclass, field
 __all__ = ["Metrics"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Metrics:
-    """Mutable tally of rounds, messages and bits for one execution."""
+    """Mutable tally of rounds, messages and bits for one execution.
+
+    :meth:`record_send` accepts arbitrarily aggregated ``(count, bits)``
+    batches: the engine's reference path calls it once per send group,
+    while the optimized hot path accumulates a sender's whole round and
+    flushes once.  Because every tally is a plain sum keyed by sender or
+    round, any batching granularity yields identical totals and
+    identical ``per_node_*``/``per_round_messages`` counters — the
+    engine parity tests rely on this.
+    """
 
     rounds: int = 0
     messages: int = 0

@@ -26,6 +26,7 @@ __all__ = [
     "Process",
     "ProtocolError",
     "payload_bits",
+    "payload_bits_cached",
 ]
 
 
@@ -91,6 +92,29 @@ def payload_bits(payload: Any) -> int:
             total += payload_bits(item) + _CONTAINER_ELEMENT_OVERHEAD
         return max(1, total)
     raise TypeError(f"cannot account bits for payload type {type(payload)!r}")
+
+
+def payload_bits_cached(
+    payload: Any, cache: dict[int, tuple[Any, int]]
+) -> int:
+    """:func:`payload_bits` memoised by payload identity.
+
+    ``cache`` maps ``id(payload)`` to ``(payload, bits)``; storing the
+    payload itself pins the object so its id cannot be recycled while
+    the entry lives.  The engine keeps one cache per round: the paper's
+    protocols broadcast the same candidate/extant object to every
+    neighbour, so within a round the size computation (which walks
+    containers recursively) runs once per distinct payload instead of
+    once per send group.  Callers must not mutate a payload between
+    sends within one round — the same contract the reference engine's
+    per-group accounting already implies for deterministic metrics.
+    """
+    entry = cache.get(id(payload))
+    if entry is not None:
+        return entry[1]
+    bits = payload_bits(payload)
+    cache[id(payload)] = (payload, bits)
+    return bits
 
 
 class Process:
