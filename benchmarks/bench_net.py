@@ -1,0 +1,71 @@
+"""Net-runtime throughput: the asyncio barrier loop vs the simulator.
+
+Measures what the synchronous model *costs on a real transport*: the
+same flooding-consensus workload as ``bench_engine_hotpath.py`` run on
+(a) the lock-step engine, (b) the net runtime's in-memory hub and
+(c) the net runtime over loopback TCP sockets.  All three produce
+identical metrics (pinned by ``tests/test_net_runtime.py``); the gap is
+pure runtime overhead — frame encode/decode, hub routing, barrier
+control traffic — i.e. the price of real message passing.
+"""
+
+import pytest
+
+from repro import check_consensus
+from repro.baselines import FloodingConsensusProcess
+from repro.net import run_protocol_net
+from repro.sim import Engine, crash_schedule
+
+
+def _processes(n: int, t: int):
+    return [FloodingConsensusProcess(i, n, t, i % 2) for i in range(n)]
+
+
+def _adversary(n: int, t: int):
+    return crash_schedule(n, t, seed=1, max_round=t + 1)
+
+
+def _run(backend: str, n: int, t: int):
+    if backend == "sim":
+        return Engine(_processes(n, t), _adversary(n, t)).run()
+    return run_protocol_net(
+        _processes(n, t),
+        _adversary(n, t),
+        transport="memory" if backend == "net" else "tcp",
+    )
+
+
+@pytest.mark.parametrize("backend", ["sim", "net", "tcp"])
+@pytest.mark.parametrize("n", [50, 100])
+def test_flooding_throughput_by_backend(benchmark, n, backend):
+    t = 3
+    result = benchmark.pedantic(lambda: _run(backend, n, t), rounds=1, iterations=1)
+    inputs = [i % 2 for i in range(n)]
+    check_consensus(result, inputs)
+    elapsed = benchmark.stats.stats.total
+    benchmark.extra_info.update(
+        {
+            "backend": backend,
+            "n": n,
+            "messages": result.messages,
+            "messages_per_sec": int(result.messages / max(elapsed, 1e-9)),
+        }
+    )
+
+
+@pytest.mark.parametrize("backend", ["sim", "net"])
+def test_consensus_protocol_by_backend(benchmark, backend):
+    # The paper's own protocol (sparse overlays, long quiescent
+    # stretches) exercises the fast-forward path of the barrier loop.
+    from repro import run_consensus
+    from repro.bench.workloads import input_vector
+
+    n, t = 240, 40
+    inputs = input_vector(n, "random", 1)
+    result = benchmark.pedantic(
+        lambda: run_consensus(inputs, t, seed=1, backend=backend),
+        rounds=1,
+        iterations=1,
+    )
+    check_consensus(result, inputs)
+    benchmark.extra_info.update({"backend": backend, "messages": result.messages})

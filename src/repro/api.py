@@ -2,11 +2,30 @@
 
 Each ``run_*`` helper builds the parameter derivation, the deterministic
 overlay graphs, the processes and the adversary, executes the protocol
-on the synchronous engine, and returns the
+on the selected backend, and returns the
 :class:`~repro.sim.engine.RunResult` (whose ``metrics`` carry the
 paper's round/message/bit measures).  Correctness checking is left to
 the caller -- :mod:`repro.properties` has one predicate per problem --
 so benchmarks can time pure executions.
+
+Backends
+--------
+``backend`` selects the execution substrate; the same processes, the
+same seeded crash schedule and the same metrics on all three:
+
+* ``"sim"`` (default) -- the lock-step simulator
+  (:class:`~repro.sim.engine.Engine`); ``optimized`` picks its round
+  loop.
+* ``"net"`` -- the asyncio runtime (:mod:`repro.net`) over the
+  in-memory hub transport: concurrent node tasks, real message frames,
+  a barrier per round.
+* ``"tcp"`` -- the asyncio runtime over loopback TCP sockets (one OS
+  process; :func:`repro.net.serve_tcp` / :func:`repro.net.host_nodes_tcp`
+  split coordinator and node shards across OS processes).
+
+The ``build_*_processes`` helpers expose the process construction on
+its own so multi-OS-process deployments can rebuild identical process
+shards from the same parameters (see ``examples/net_consensus.py``).
 
 >>> from repro import run_consensus
 >>> result = run_consensus([0, 1] * 50, t=15, crashes="random", seed=1)
@@ -38,8 +57,14 @@ from repro.core.scv import SCVProcess
 from repro.graphs.families import spread_graph
 from repro.sim.adversary import CrashAdversary, NoFailures, crash_schedule
 from repro.sim.engine import Engine, RunResult
+from repro.sim.process import Process
 
 __all__ = [
+    "build_aea_processes",
+    "build_checkpointing_processes",
+    "build_consensus_processes",
+    "build_gossip_processes",
+    "build_scv_processes",
     "run_aea",
     "run_ab_consensus",
     "run_checkpointing",
@@ -78,24 +103,56 @@ def _adversary(
     )
 
 
-def run_consensus(
+def _execute(
+    processes: Sequence[Process],
+    adversary: CrashAdversary,
+    *,
+    backend: str,
+    byzantine: frozenset[int] = frozenset(),
+    max_rounds: int,
+    fast_forward: bool = True,
+    optimized: bool = True,
+) -> RunResult:
+    """Dispatch one execution to the selected backend."""
+    if backend == "sim":
+        return Engine(
+            processes,
+            adversary,
+            byzantine=byzantine,
+            max_rounds=max_rounds,
+            fast_forward=fast_forward,
+            optimized=optimized,
+        ).run()
+    if backend in ("net", "tcp"):
+        from repro.net import run_protocol_net
+
+        return run_protocol_net(
+            processes,
+            adversary,
+            byzantine=byzantine,
+            max_rounds=max_rounds,
+            fast_forward=fast_forward,
+            transport="memory" if backend == "net" else "tcp",
+        )
+    raise ValueError(f"unknown backend {backend!r}; choose 'sim', 'net' or 'tcp'")
+
+
+# -- process builders --------------------------------------------------------
+
+
+def build_consensus_processes(
     inputs: Sequence[int],
     t: int,
     *,
     algorithm: str = "auto",
-    crashes: Optional[str | CrashAdversary] = "random",
-    seed: int = 0,
     overlay_seed: int = 0,
-    max_rounds: int = 200_000,
-    fast_forward: bool = True,
-    optimized: bool = True,
-) -> RunResult:
-    """Binary consensus with crashes (Figs. 3-4, Theorems 7-8).
+) -> tuple[list[Process], int]:
+    """Construct the consensus process vector and its crash horizon.
 
-    ``algorithm``: ``"few"`` (requires ``t < n/5``), ``"many"`` (any
-    ``t < n``), or ``"auto"`` (``"few"`` when ``t < n/5``).
-    ``crashes``: an adversary instance, a schedule kind for
-    :func:`~repro.sim.adversary.crash_schedule`, or ``None``.
+    Deterministic in ``(inputs, t, algorithm, overlay_seed)``, so worker
+    processes of a distributed run can rebuild identical shards.
+    Returns ``(processes, horizon)`` where ``horizon`` bounds the rounds
+    in which a generated crash schedule places faults.
     """
     n = len(inputs)
     params = ProtocolParams(n=n, t=t, seed=overlay_seed)
@@ -106,7 +163,7 @@ def run_consensus(
             raise ValueError(f"Few-Crashes-Consensus requires t < n/5, got t={t}, n={n}")
         graph = aea_overlay(params)
         spread = spread_graph(n, params.seed)
-        processes = [
+        processes: list[Process] = [
             FewCrashesConsensusProcess(
                 pid, params, inputs[pid], aea_graph=graph, spread=spread
             )
@@ -122,15 +179,113 @@ def run_consensus(
         horizon = params.mcc_flood_rounds + params.mcc_probe_rounds
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
+    return processes, horizon
+
+
+def build_aea_processes(
+    inputs: Sequence[int], t: int, *, overlay_seed: int = 0
+) -> tuple[list[Process], int]:
+    """Almost-Everywhere-Agreement process vector; see
+    :func:`build_consensus_processes` for the contract."""
+    n = len(inputs)
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    graph = aea_overlay(params)
+    processes: list[Process] = [
+        AEAProcess(pid, params, inputs[pid], graph) for pid in range(n)
+    ]
+    return processes, params.little_flood_rounds + params.little_probe_rounds
+
+
+def build_scv_processes(
+    n: int,
+    t: int,
+    holders: Sequence[int],
+    common_value: Any = 1,
+    *,
+    overlay_seed: int = 0,
+) -> tuple[list[Process], int]:
+    """Spread-Common-Value process vector; see
+    :func:`build_consensus_processes` for the contract."""
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    holder_set = set(holders)
+    spread = spread_graph(n, params.seed)
+    processes: list[Process] = [
+        SCVProcess(pid, params, common_value if pid in holder_set else None, spread)
+        for pid in range(n)
+    ]
+    return processes, params.scv_spread_rounds
+
+
+def build_gossip_processes(
+    rumors: Sequence[Any], t: int, *, overlay_seed: int = 0
+) -> tuple[list[Process], int]:
+    """Gossip process vector; see :func:`build_consensus_processes` for
+    the contract."""
+    n = len(rumors)
+    if 5 * t >= n:
+        raise ValueError(f"Gossip requires t < n/5, got t={t}, n={n}")
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    graph = gossip_overlay(params)
+    processes: list[Process] = [
+        GossipProcess(pid, params, rumors[pid], graph=graph) for pid in range(n)
+    ]
+    return processes, params.gossip_phase_count * (2 + params.little_probe_rounds)
+
+
+def build_checkpointing_processes(
+    n: int, t: int, *, overlay_seed: int = 0
+) -> tuple[list[Process], int]:
+    """Checkpointing process vector; see
+    :func:`build_consensus_processes` for the contract."""
+    if 5 * t >= n:
+        raise ValueError(f"Checkpointing requires t < n/5, got t={t}, n={n}")
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    graph = gossip_overlay(params)
+    spread = spread_graph(n, params.seed)
+    processes: list[Process] = [
+        CheckpointingProcess(pid, params, graph=graph, spread=spread)
+        for pid in range(n)
+    ]
+    return processes, params.gossip_phase_count * (2 + params.little_probe_rounds)
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def run_consensus(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    algorithm: str = "auto",
+    crashes: Optional[str | CrashAdversary] = "random",
+    seed: int = 0,
+    overlay_seed: int = 0,
+    max_rounds: int = 200_000,
+    fast_forward: bool = True,
+    optimized: bool = True,
+    backend: str = "sim",
+) -> RunResult:
+    """Binary consensus with crashes (Figs. 3-4, Theorems 7-8).
+
+    ``algorithm``: ``"few"`` (requires ``t < n/5``), ``"many"`` (any
+    ``t < n``), or ``"auto"`` (``"few"`` when ``t < n/5``).
+    ``crashes``: an adversary instance, a schedule kind for
+    :func:`~repro.sim.adversary.crash_schedule`, or ``None``.
+    ``backend``: ``"sim"``, ``"net"`` or ``"tcp"`` (module docstring).
+    """
+    n = len(inputs)
+    processes, horizon = build_consensus_processes(
+        inputs, t, algorithm=algorithm, overlay_seed=overlay_seed
+    )
     adversary = _adversary(crashes, n, t, seed, horizon)
-    engine = Engine(
+    return _execute(
         processes,
         adversary,
+        backend=backend,
         max_rounds=max_rounds,
         fast_forward=fast_forward,
         optimized=optimized,
     )
-    return engine.run()
 
 
 def run_aea(
@@ -142,17 +297,19 @@ def run_aea(
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
     optimized: bool = True,
+    backend: str = "sim",
 ) -> RunResult:
     """Almost-Everywhere-Agreement alone (Fig. 1, Theorem 5)."""
     n = len(inputs)
-    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
-    graph = aea_overlay(params)
-    processes = [AEAProcess(pid, params, inputs[pid], graph) for pid in range(n)]
-    horizon = params.little_flood_rounds + params.little_probe_rounds
+    processes, horizon = build_aea_processes(inputs, t, overlay_seed=overlay_seed)
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(
-        processes, adversary, max_rounds=max_rounds, optimized=optimized
-    ).run()
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        optimized=optimized,
+    )
 
 
 def run_scv(
@@ -166,24 +323,24 @@ def run_scv(
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
     optimized: bool = True,
+    backend: str = "sim",
 ) -> RunResult:
     """Spread-Common-Value alone (Fig. 2, Theorem 6).
 
     ``holders`` are the nodes initialised with ``common_value``; the
     problem requires at least ``3n/5`` of them.
     """
-    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
-    holder_set = set(holders)
-    spread = spread_graph(n, params.seed)
-    processes = [
-        SCVProcess(pid, params, common_value if pid in holder_set else None, spread)
-        for pid in range(n)
-    ]
-    horizon = params.scv_spread_rounds
+    processes, horizon = build_scv_processes(
+        n, t, holders, common_value, overlay_seed=overlay_seed
+    )
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(
-        processes, adversary, max_rounds=max_rounds, optimized=optimized
-    ).run()
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        optimized=optimized,
+    )
 
 
 def run_gossip(
@@ -195,19 +352,19 @@ def run_gossip(
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
     optimized: bool = True,
+    backend: str = "sim",
 ) -> RunResult:
     """Gossiping with crashes (Fig. 5, Theorem 9), ``t < n/5``."""
     n = len(rumors)
-    if 5 * t >= n:
-        raise ValueError(f"Gossip requires t < n/5, got t={t}, n={n}")
-    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
-    graph = gossip_overlay(params)
-    processes = [GossipProcess(pid, params, rumors[pid], graph=graph) for pid in range(n)]
-    horizon = params.gossip_phase_count * (2 + params.little_probe_rounds)
+    processes, horizon = build_gossip_processes(rumors, t, overlay_seed=overlay_seed)
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(
-        processes, adversary, max_rounds=max_rounds, optimized=optimized
-    ).run()
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        optimized=optimized,
+    )
 
 
 def run_checkpointing(
@@ -219,22 +376,20 @@ def run_checkpointing(
     overlay_seed: int = 0,
     max_rounds: int = 200_000,
     optimized: bool = True,
+    backend: str = "sim",
 ) -> RunResult:
     """Checkpointing with crashes (Fig. 6, Theorem 10), ``t < n/5``."""
-    if 5 * t >= n:
-        raise ValueError(f"Checkpointing requires t < n/5, got t={t}, n={n}")
-    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
-    graph = gossip_overlay(params)
-    spread = spread_graph(n, params.seed)
-    processes = [
-        CheckpointingProcess(pid, params, graph=graph, spread=spread)
-        for pid in range(n)
-    ]
-    horizon = params.gossip_phase_count * (2 + params.little_probe_rounds)
+    processes, horizon = build_checkpointing_processes(
+        n, t, overlay_seed=overlay_seed
+    )
     adversary = _adversary(crashes, n, t, seed, horizon)
-    return Engine(
-        processes, adversary, max_rounds=max_rounds, optimized=optimized
-    ).run()
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        optimized=optimized,
+    )
 
 
 def run_ab_consensus(
@@ -247,6 +402,7 @@ def run_ab_consensus(
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
     optimized: bool = True,
+    backend: str = "sim",
 ) -> RunResult:
     """Consensus under authenticated Byzantine faults (Fig. 7, Thm. 11).
 
@@ -272,11 +428,11 @@ def run_ab_consensus(
             processes.append(
                 ABConsensusProcess(pid, params, inputs[pid], service, spread=spread)
             )
-    engine = Engine(
+    return _execute(
         processes,
         NoFailures(),
+        backend=backend,
         byzantine=byz,
         max_rounds=max_rounds,
         optimized=optimized,
     )
-    return engine.run()

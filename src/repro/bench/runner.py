@@ -29,7 +29,7 @@ import time
 from repro.bench import series
 from repro.bench.sweep import run_sweep, union_columns, write_csv, write_json
 
-__all__ = ["EXPERIMENTS", "format_table", "main", "run_experiment"]
+__all__ = ["EXPERIMENTS", "cli_main", "format_table", "main", "run_experiment"]
 
 #: Experiment id -> (zero-argument spec builder, display title).  The
 #: single registry behind both :func:`run_experiment` and the CLI; the
@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "e12": (series.singleport_spec, "Theorem 12: single-port Linear-Consensus"),
     "e13": (series.lowerbounds_spec, "Theorem 13: lower bounds"),
     "baselines": (series.baselines_spec, "Cross-comparison vs classical baselines"),
+    "net": (series.net_spec, "Simulator vs. asyncio net runtime (parity + cost)"),
 }
 
 
@@ -133,6 +134,11 @@ def main(argv: list[str]) -> int:
             write_csv(report.rows(), csv_path)
             print(f"   artifacts: {json_path} {csv_path}")
     return 0
+
+
+def cli_main() -> int:
+    """Entry point for the ``repro-bench`` console script."""
+    return main(sys.argv[1:])
 
 
 if __name__ == "__main__":

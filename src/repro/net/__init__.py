@@ -1,0 +1,55 @@
+"""``repro.net`` -- asyncio message-passing runtime for the paper's protocols.
+
+The simulator in :mod:`repro.sim.engine` executes protocols inside one
+lock-step loop.  This package runs the *same* :class:`~repro.sim.process.Process`
+objects as concurrent asyncio tasks exchanging real messages over
+pluggable transports:
+
+* an **in-memory hub** (:class:`~repro.net.transport.MemoryHub`) for
+  tests and single-machine experiments, and
+* a **TCP hub** (:class:`~repro.net.transport.TCPHub`) for real
+  socket-level runs, including multi-OS-process deployments where worker
+  processes host disjoint shards of the node set.
+
+A coordinator task (:class:`~repro.net.runtime.Synchronizer`) implements
+the paper's synchronous model as a barrier per round: every message sent
+in round ``r`` is delivered before any process observes round ``r``'s
+receive phase, crash faults are injected from the same
+:class:`~repro.sim.adversary.CrashAdversary` schedules the simulator
+uses (including partial sends in the crash round), and the run produces
+the same :class:`~repro.sim.metrics.Metrics` -- the parity tests pin
+identical decisions, crash sets and message/bit totals against
+:class:`~repro.sim.engine.Engine` for the same seed and schedule.
+
+Entry points: :func:`~repro.net.runtime.run_protocol_net` executes a
+process list end-to-end in one OS process over either transport;
+:func:`~repro.net.runtime.serve_tcp` / :func:`~repro.net.runtime.host_nodes_tcp`
+split the coordinator and node shards across OS processes (see
+``examples/net_consensus.py``).  The high-level ``repro.api.run_*``
+helpers accept ``backend="net"`` / ``backend="tcp"`` and route here.
+"""
+
+from repro.net.faults import NetFaultInjector, RuntimeView
+from repro.net.runtime import (
+    NetRuntimeError,
+    Synchronizer,
+    host_nodes_tcp,
+    run_node,
+    run_protocol_net,
+    serve_tcp,
+)
+from repro.net.transport import MemoryHub, TCPHub, connect_tcp
+
+__all__ = [
+    "MemoryHub",
+    "NetFaultInjector",
+    "NetRuntimeError",
+    "RuntimeView",
+    "Synchronizer",
+    "TCPHub",
+    "connect_tcp",
+    "host_nodes_tcp",
+    "run_node",
+    "run_protocol_net",
+    "serve_tcp",
+]

@@ -1,0 +1,46 @@
+"""Wire format shared by every transport.
+
+A frame is one pickled Python object with a fixed binary header.  Both
+transports move *encoded bytes* -- the in-memory hub too -- so payload
+serialisability is exercised uniformly: anything that runs over the
+memory transport runs over TCP unchanged.
+
+Pickle is the codec because protocol payloads are arbitrary Python
+values (ints, tuples, ``SetDelta``/``Signature`` objects exposing
+``bits_size``).  That makes the runtime a *trusted-cluster* transport:
+frames are only ever exchanged between mutually trusting worker
+processes of one experiment, never with untrusted peers.
+
+Header layouts (big-endian):
+
+* endpoint -> hub:   ``[u32 body_len][i32 dst]`` + body
+* hub -> endpoint:   ``[u32 body_len][i32 src]`` + body
+
+The hub rewrites the 4-byte address field when forwarding, so a
+destination learns the sender without the body being examined en route.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+__all__ = ["HEADER", "HELLO", "decode", "encode"]
+
+#: ``(body_len, address)`` -- address is dst on the way to the hub and
+#: src on the way out.
+HEADER = struct.Struct(">Ii")
+
+#: One-shot handshake a TCP endpoint sends on connect: its own address.
+HELLO = struct.Struct(">i")
+
+
+def encode(obj: Any) -> bytes:
+    """Serialise one frame body."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(body: bytes) -> Any:
+    """Deserialise one frame body."""
+    return pickle.loads(body)

@@ -1,0 +1,608 @@
+"""The asyncio round-synchronised runtime.
+
+Execution model
+---------------
+Every node is one asyncio task (:func:`run_node`) hosting an unmodified
+:class:`~repro.sim.process.Process`; a coordinator task
+(:class:`Synchronizer`) implements the synchronous model of Section 2
+as a two-phase barrier per round:
+
+1. ``START(r)`` -- the coordinator opens round ``r`` for every live
+   node, attaching the partial-send budget ``keep`` for nodes the fault
+   injector crashes this round.  Each node runs its ``send(r)`` hook,
+   transmits one data frame per point-to-point message *directly to the
+   destination endpoint* (multicasts are expanded on the wire), counts
+   its own messages and payload bits, and reports ``SENT`` with its
+   per-destination counts.
+2. ``DELIVER(r)`` -- once every live node has reported, the coordinator
+   tells each surviving node how many round-``r`` frames to expect.
+   The node collects exactly that many (data frames may already have
+   arrived and are buffered by round), orders the inbox by
+   ``(sender, send-order)`` -- byte-for-byte the simulator's delivery
+   order -- runs ``receive(r)``, and reports ``DONE``.
+
+The barrier guarantees the paper's synchrony: no process observes round
+``r + 1`` before every round-``r`` message is delivered.  Crash faults,
+fast-forward over quiescent stretches, termination, and the
+rounds/messages/bits accounting all mirror the simulator's reference
+loop statement by statement, which is what makes the sim/net parity
+tests exact rather than statistical.
+
+Deployment shapes
+-----------------
+* :func:`run_protocol_net` -- everything (hub, coordinator, all nodes)
+  in one OS process, over the in-memory or TCP transport.
+* :func:`serve_tcp` + :func:`host_nodes_tcp` -- the coordinator and
+  disjoint node shards in separate OS processes, meeting at a
+  :class:`~repro.net.transport.TCPHub` (see ``examples/net_consensus.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.net.codec import encode
+from repro.net.faults import NetFaultInjector, NodeStatus, RuntimeView
+from repro.net.transport import Endpoint, MemoryHub, TCPHub, connect_tcp
+from repro.sim.adversary import CrashAdversary, NoFailures
+from repro.sim.engine import RunResult, check_pid_order, collect_sends
+from repro.sim.metrics import Metrics
+from repro.sim.process import Process, ProtocolError, payload_bits_cached
+
+__all__ = [
+    "NetRuntimeError",
+    "Synchronizer",
+    "host_nodes_tcp",
+    "run_node",
+    "run_protocol_net",
+    "serve_tcp",
+]
+
+
+class NetRuntimeError(RuntimeError):
+    """A node task or transport failed; carries the remote traceback text."""
+
+
+# Frame kinds (first element of every decoded frame body).
+_READY = "ready"
+_START = "start"
+_SENT = "sent"
+_DELIVER = "deliver"
+_DONE = "done"
+_STOP = "stop"
+_ERROR = "error"
+_DATA = "data"
+
+
+def _status_of(proc: Process) -> tuple[bool, bool, Any]:
+    return proc.halted, proc.decided, proc.decision
+
+
+# -- node side ---------------------------------------------------------------
+
+
+async def run_node(proc: Process, endpoint: Endpoint, coordinator: int) -> None:
+    """Host one process on one endpoint until it halts, crashes or is
+    stopped.
+
+    Protocol errors (invalid destinations, broken ``next_activity``
+    contracts, exceptions escaping the hooks) are reported to the
+    coordinator as ``ERROR`` frames so they surface in the driving
+    process even when this node lives in a remote worker.
+    """
+    try:
+        await _node_loop(proc, endpoint, coordinator)
+    except asyncio.CancelledError:
+        raise
+    except Exception as exc:  # report, then end this node quietly
+        try:
+            await endpoint.send(
+                coordinator, (_ERROR, proc.pid, type(exc).__name__, str(exc))
+            )
+        except Exception:
+            pass  # transport already down; nothing left to tell
+    finally:
+        await endpoint.close()
+
+
+async def _node_loop(proc: Process, endpoint: Endpoint, coordinator: int) -> None:
+    pid = proc.pid
+    n = proc.n
+    proc.on_start()
+    await endpoint.send(coordinator, (_READY, pid, *_status_of(proc)))
+    if proc.halted:
+        # Halted during on_start: the coordinator never opens a round
+        # for this node (the simulator's send/receive loops skip it).
+        return
+
+    # Data frames buffered by round: a peer that reaches round r + 1
+    # first may deliver before this node's START(r + 1) arrives.
+    buffers: dict[int, list[tuple[int, int, Any]]] = {}
+    bits_cache: dict[int, tuple[Any, int]] = {}
+
+    while True:
+        src, frame = await endpoint.recv()
+        kind = frame[0]
+        if kind == _DATA:
+            _, rnd, seq, payload = frame
+            buffers.setdefault(rnd, []).append((src, seq, payload))
+        elif kind == _START:
+            _, rnd, crashing, keep = frame
+            bits_cache.clear()
+            if crashing:
+                await _send_phase(
+                    proc, endpoint, coordinator, rnd, keep, bits_cache
+                )
+                return  # crashed: no further activity, not even receives
+            await _send_phase(proc, endpoint, coordinator, rnd, None, bits_cache)
+            if proc.halted:
+                # Halted inside send(): the engine skips such a process
+                # from the receive phase onwards, and the coordinator
+                # (told via the SENT report) never contacts it again --
+                # exit now rather than wait for a frame that won't come.
+                return
+        elif kind == _DELIVER:
+            _, rnd, expect, need_wake = frame
+            inbox = await _collect_inbox(endpoint, buffers, rnd, expect)
+            proc.receive(rnd, inbox)
+            wake: Optional[int] = None
+            if need_wake and not proc.halted:
+                wake = proc.next_activity(rnd)
+            await endpoint.send(
+                coordinator, (_DONE, rnd, pid, *_status_of(proc), wake)
+            )
+            if proc.halted:
+                return
+        elif kind == _STOP:
+            return
+        else:
+            raise NetRuntimeError(f"node {pid} received unknown frame {kind!r}")
+
+
+async def _send_phase(
+    proc: Process,
+    endpoint: Endpoint,
+    coordinator: int,
+    rnd: int,
+    keep: Optional[int],
+    bits_cache: dict,
+) -> None:
+    """One node's send phase: normalise, validate and (for a crashing
+    node) truncate the sends with the engine's own
+    :func:`repro.sim.engine.collect_sends` -- the single source of
+    partial-send semantics on both substrates -- then transmit one data
+    frame per point-to-point message, accumulate message/bit counts
+    locally and flush one ``SENT`` report."""
+    pid = proc.pid
+    msgs = 0
+    bits = 0
+    dest_counts: dict[int, int] = {}
+    for seq, (dsts, payload) in enumerate(collect_sends(proc, rnd, keep, proc.n)):
+        bits_each = payload_bits_cached(payload, bits_cache)
+        # One frame body per send group: ``seq`` is the group index
+        # (receivers order by ``(src, seq)`` with a stable sort, so
+        # same-group duplicates keep their on-wire FIFO order), which
+        # lets a multicast pickle its payload once, not once per
+        # destination.
+        body = encode((_DATA, rnd, seq, payload))
+        for dst in dsts:
+            await endpoint.send_encoded(dst, body)
+            dest_counts[dst] = dest_counts.get(dst, 0) + 1
+        msgs += len(dsts)
+        bits += bits_each * len(dsts)
+    await endpoint.send(
+        coordinator, (_SENT, rnd, pid, dest_counts, msgs, bits, *_status_of(proc))
+    )
+
+
+async def _collect_inbox(
+    endpoint: Endpoint,
+    buffers: dict[int, list[tuple[int, int, Any]]],
+    rnd: int,
+    expect: int,
+) -> list[tuple[int, Any]]:
+    """Wait until all ``expect`` round-``rnd`` frames arrived, then order
+    them by ``(sender pid, per-sender send order)`` -- the simulator's
+    delivery order.  The sort key excludes the payload (payloads need
+    not be comparable); stability preserves on-wire FIFO order for
+    same-group duplicates."""
+    while len(buffers.get(rnd, ())) < expect:
+        src, frame = await endpoint.recv()
+        if frame[0] != _DATA:
+            raise NetRuntimeError(
+                f"expected data frames for round {rnd}, got {frame[0]!r}"
+            )
+        buffers.setdefault(frame[1], []).append((src, frame[2], frame[3]))
+    pending = sorted(buffers.pop(rnd, []), key=lambda entry: (entry[0], entry[1]))
+    return [(src, payload) for src, _seq, payload in pending]
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+class Synchronizer:
+    """The round-barrier coordinator.
+
+    Drives the crash phase (via :class:`~repro.net.faults.NetFaultInjector`),
+    the send/deliver barrier, fast-forward over quiescent rounds, the
+    termination condition, and the :class:`~repro.sim.metrics.Metrics`
+    accounting -- all statement-for-statement mirrors of the simulator's
+    reference loop, so a seeded schedule yields identical rounds,
+    message/bit totals, per-node and per-round tallies, crash sets and
+    decisions on both substrates.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        adversary: Optional[CrashAdversary] = None,
+        *,
+        byzantine: frozenset[int] = frozenset(),
+        max_rounds: int = 100_000,
+        fast_forward: bool = True,
+        timeout: Optional[float] = 120.0,
+    ):
+        self.n = n
+        self.byzantine = frozenset(byzantine)
+        self.injector = NetFaultInjector(
+            adversary if adversary is not None else NoFailures(), self.byzantine
+        )
+        self.max_rounds = max_rounds
+        self.fast_forward = fast_forward
+        self.timeout = timeout
+        self.metrics = Metrics()
+        self.crashed: set[int] = set()
+        self.statuses = [NodeStatus(pid) for pid in range(n)]
+        self.view = RuntimeView(self.statuses, self.crashed)
+
+    async def run(self, endpoint: Endpoint) -> RunResult:
+        """Execute to completion and return an engine-shaped result.
+
+        ``result.processes`` holds the coordinator's
+        :class:`~repro.net.faults.NodeStatus` records -- pid-indexed
+        stand-ins carrying the ``pid`` / ``halted`` / ``decided`` /
+        ``decision`` fields, enough for ``correct_pids()`` and the
+        ``check_*`` predicates to work on a distributed run's result.
+        The single-process runners replace them with the locally hosted
+        process objects.
+        """
+        try:
+            await self._await_ready(endpoint)
+            completed, last_active_round = await self._round_loop(endpoint)
+        finally:
+            # Also on error: without STOP frames, remote node tasks stay
+            # blocked in recv() and their worker processes never exit.
+            # Best-effort -- the original exception must propagate even
+            # if the transport is already broken.
+            try:
+                await self._stop_survivors(endpoint)
+            except Exception:
+                pass
+        if not completed and all(
+            pid in self.crashed or pid in self.byzantine for pid in range(self.n)
+        ):
+            completed = True
+            self.metrics.rounds = max(last_active_round + 1, 0)
+        decisions = {
+            s.pid: s.decision for s in self.statuses if s.decided
+        }
+        return RunResult(
+            processes=tuple(self.statuses),
+            metrics=self.metrics,
+            crashed=set(self.crashed),
+            byzantine=self.byzantine,
+            completed=completed,
+            decisions=decisions,
+        )
+
+    # -- protocol steps --------------------------------------------------
+
+    async def _recv(self, endpoint: Endpoint, context: str = "") -> tuple:
+        if self.timeout is None:
+            src, frame = await endpoint.recv()
+        else:
+            try:
+                src, frame = await asyncio.wait_for(endpoint.recv(), self.timeout)
+            except asyncio.TimeoutError:
+                raise NetRuntimeError(
+                    f"coordinator timed out after {self.timeout}s waiting for "
+                    f"node reports ({context or 'unknown phase'}; a node task "
+                    "or worker process died?)"
+                ) from None
+        if frame[0] == _ERROR:
+            _, pid, kind, text = frame
+            if kind == "ProtocolError":
+                raise ProtocolError(text)
+            raise NetRuntimeError(f"node {pid} failed with {kind}: {text}")
+        return frame
+
+    async def _await_ready(self, endpoint: Endpoint) -> None:
+        pending = set(range(self.n))
+        while pending:
+            frame = await self._recv(
+                endpoint, f"ready phase, missing pids {sorted(pending)}"
+            )
+            if frame[0] != _READY:
+                raise NetRuntimeError(f"expected ready, got {frame[0]!r}")
+            _, pid, halted, decided, decision = frame
+            pending.discard(pid)
+            self._update(pid, halted, decided, decision)
+
+    def _update(self, pid: int, halted: bool, decided: bool, decision: Any) -> None:
+        status = self.statuses[pid]
+        status.halted = halted
+        status.decided = decided
+        status.decision = decision
+
+    async def _round_loop(self, endpoint: Endpoint) -> tuple[bool, int]:
+        rnd = 0
+        completed = False
+        last_active_round = -1
+        hit_max = True
+        while rnd < self.max_rounds:
+            crashing = self.injector.crashes_for_round(rnd, self.view)
+
+            # Send phase: open the round for every live node.
+            participants = [
+                pid
+                for pid in range(self.n)
+                if pid not in self.crashed and not self.statuses[pid].halted
+            ]
+            for pid in participants:
+                await endpoint.send(
+                    pid, (_START, rnd, pid in crashing, crashing.get(pid))
+                )
+            expected = [0] * self.n
+            delivered_any = False
+            pending = set(participants)
+            while pending:
+                frame = await self._recv(
+                    endpoint,
+                    f"send phase of round {rnd}, missing pids {sorted(pending)}",
+                )
+                if frame[0] != _SENT:
+                    raise NetRuntimeError(f"expected sent, got {frame[0]!r}")
+                _, r, pid, dest_counts, msgs, bits, halted, decided, decision = frame
+                pending.discard(pid)
+                self._update(pid, halted, decided, decision)
+                for dst, count in dest_counts.items():
+                    expected[dst] += count
+                if msgs:
+                    delivered_any = True
+                    self.metrics.record_send(
+                        pid, msgs, bits, rnd, pid not in self.byzantine
+                    )
+            for pid in crashing:
+                if pid in participants:
+                    self.crashed.add(pid)
+
+            # Receive phase: survivors consume their (possibly empty) inbox.
+            need_wake = self.fast_forward and not delivered_any
+            receivers = [
+                pid
+                for pid in participants
+                if pid not in self.crashed and not self.statuses[pid].halted
+            ]
+            for pid in receivers:
+                await endpoint.send(pid, (_DELIVER, rnd, expected[pid], need_wake))
+            pending = set(receivers)
+            while pending:
+                frame = await self._recv(
+                    endpoint,
+                    f"receive phase of round {rnd}, missing pids {sorted(pending)}",
+                )
+                if frame[0] != _DONE:
+                    raise NetRuntimeError(f"expected done, got {frame[0]!r}")
+                _, r, pid, halted, decided, decision, wake = frame
+                pending.discard(pid)
+                self._update(pid, halted, decided, decision)
+                self.statuses[pid].wake = wake
+                if wake is not None and wake <= rnd:
+                    raise ProtocolError(
+                        f"process {pid} declared next_activity {wake} <= {rnd}"
+                    )
+
+            if delivered_any:
+                last_active_round = rnd
+
+            # Termination: all operational non-Byzantine nodes halted.
+            if all(
+                self.statuses[pid].halted
+                for pid in range(self.n)
+                if pid not in self.crashed and pid not in self.byzantine
+            ):
+                self.metrics.rounds = rnd + 1
+                completed = True
+                hit_max = False
+                break
+
+            rnd = self._advance(rnd, delivered_any, receivers)
+        if hit_max:
+            self.metrics.rounds = self.max_rounds
+        return completed, last_active_round
+
+    def _advance(self, rnd: int, delivered_any: bool, receivers: list[int]) -> int:
+        """The engine's quiescence fast-forward over reported wake rounds."""
+        if not self.fast_forward or delivered_any:
+            return rnd + 1
+        nxt = self.max_rounds
+        for pid in receivers:
+            status = self.statuses[pid]
+            if status.halted or status.wake is None:
+                continue
+            nxt = min(nxt, status.wake)
+        crash_event = self.injector.next_event_round(rnd)
+        if crash_event is not None:
+            nxt = min(nxt, max(crash_event, rnd + 1))
+        return max(rnd + 1, nxt)
+
+    async def _stop_survivors(self, endpoint: Endpoint) -> None:
+        # Halted nodes have already detached (both hubs drop frames to
+        # detached addresses), so STOP every non-crashed pid rather than
+        # guess which ones are still listening.
+        for pid in range(self.n):
+            if pid not in self.crashed:
+                await endpoint.send(pid, (_STOP,))
+
+
+# -- runners -----------------------------------------------------------------
+
+
+async def _run_async(
+    processes: Sequence[Process],
+    adversary: Optional[CrashAdversary],
+    byzantine: frozenset[int],
+    max_rounds: int,
+    fast_forward: bool,
+    transport: str,
+    host: str,
+    port: int,
+    timeout: Optional[float],
+) -> RunResult:
+    n = len(processes)
+    hub: Any
+    if transport == "memory":
+        hub = MemoryHub()
+        endpoints: list[Endpoint] = [hub.endpoint(addr) for addr in range(n + 1)]
+    elif transport == "tcp":
+        hub = TCPHub(host, port)
+        await hub.start()
+        endpoints = [
+            await connect_tcp(host, hub.port, addr) for addr in range(n + 1)
+        ]
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+    sync = Synchronizer(
+        n,
+        adversary,
+        byzantine=byzantine,
+        max_rounds=max_rounds,
+        fast_forward=fast_forward,
+        timeout=timeout,
+    )
+    node_tasks = [
+        asyncio.create_task(run_node(proc, endpoints[proc.pid], n))
+        for proc in processes
+    ]
+    try:
+        result = await sync.run(endpoints[n])
+        await asyncio.gather(*node_tasks)
+    finally:
+        for task in node_tasks:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(*node_tasks, return_exceptions=True)
+        await endpoints[n].close()
+        if transport == "tcp":
+            await hub.close()
+    result.processes = list(processes)
+    return result
+
+
+def run_protocol_net(
+    processes: Sequence[Process],
+    adversary: Optional[CrashAdversary] = None,
+    *,
+    byzantine: frozenset[int] = frozenset(),
+    max_rounds: int = 100_000,
+    fast_forward: bool = True,
+    transport: str = "memory",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: Optional[float] = 120.0,
+) -> RunResult:
+    """Execute ``processes`` on the net runtime in this OS process.
+
+    The drop-in counterpart of ``Engine(processes, adversary).run()``:
+    same process objects, same adversary schedules, same
+    :class:`~repro.sim.engine.RunResult` (with ``result.processes``
+    holding the locally hosted instances).  ``transport`` selects the
+    in-memory hub or a loopback TCP hub (real sockets, one OS process).
+    """
+    check_pid_order(processes)
+    return asyncio.run(
+        _run_async(
+            processes,
+            adversary,
+            frozenset(byzantine),
+            max_rounds,
+            fast_forward,
+            transport,
+            host,
+            port,
+            timeout,
+        )
+    )
+
+
+async def serve_tcp(
+    n: int,
+    adversary: Optional[CrashAdversary] = None,
+    *,
+    byzantine: frozenset[int] = frozenset(),
+    max_rounds: int = 100_000,
+    fast_forward: bool = True,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    hub: Optional[TCPHub] = None,
+    timeout: Optional[float] = 120.0,
+) -> RunResult:
+    """Run the hub and coordinator for an ``n``-node TCP deployment.
+
+    Node shards connect from worker processes via :func:`host_nodes_tcp`;
+    this coroutine returns once the protocol terminates.  Pass a
+    pre-``start()``-ed ``hub`` to bind the port race-free before
+    spawning workers (read the bound port from ``hub.port``; ownership
+    transfers -- this coroutine closes it).  Without ``hub``, one is
+    created on ``host``/``port``; pick a fixed ``port`` the workers
+    know, since an ephemeral one is not reported back.
+    """
+    if hub is None:
+        hub = TCPHub(host, port)
+        await hub.start()
+    endpoint = await connect_tcp(hub.host, hub.port, n)
+    try:
+        sync = Synchronizer(
+            n,
+            adversary,
+            byzantine=byzantine,
+            max_rounds=max_rounds,
+            fast_forward=fast_forward,
+            timeout=timeout,
+        )
+        return await sync.run(endpoint)
+    finally:
+        await endpoint.close()
+        await hub.close()
+
+
+async def host_nodes_tcp(
+    processes: Mapping[int, Process] | Sequence[Process],
+    host: str,
+    port: int,
+    *,
+    deadline: float = 30.0,
+) -> None:
+    """Host a shard of nodes in this OS process, dialing a remote hub.
+
+    ``processes`` maps pid to process (or is a sequence of processes
+    whose ``pid`` attributes name their addresses); each node gets its
+    own endpoint connection.  Returns when every hosted node has halted,
+    crashed or been stopped by the coordinator.
+    """
+    procs = (
+        list(processes.values())
+        if isinstance(processes, Mapping)
+        else list(processes)
+    )
+    endpoints = [
+        await connect_tcp(host, port, proc.pid, deadline=deadline)
+        for proc in procs
+    ]
+    await asyncio.gather(
+        *(
+            run_node(proc, endpoint, proc.n)
+            for proc, endpoint in zip(procs, endpoints)
+        )
+    )

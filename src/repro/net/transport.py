@@ -1,0 +1,302 @@
+"""Pluggable transports: an in-memory hub and a TCP hub.
+
+Both expose the same endpoint interface -- ``await send(dst, obj)``,
+``await recv() -> (src, obj)``, ``await close()`` -- over a hub (star)
+topology: every endpoint holds one link to a central router that
+forwards frames by destination address.  Addresses are the node pids
+``0..n-1`` plus the coordinator at address ``n``.
+
+The hub is infrastructure (a software switch), not a protocol
+participant: message and bit accounting happens at the sending node
+exactly as in the simulator, so the topology does not affect the
+paper's communication measures.  A full-mesh TCP transport (one socket
+per node pair) would slot in behind the same endpoint interface.
+
+Frames for a destination that has not attached yet are buffered and
+flushed on attach, which makes startup order irrelevant; frames for a
+destination that has already detached (a crashed or halted node) are
+dropped, mirroring the simulator's "crashed nodes receive nothing".
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.net.codec import HEADER, HELLO, decode, encode
+
+__all__ = [
+    "Endpoint",
+    "MemoryEndpoint",
+    "MemoryHub",
+    "TCPEndpoint",
+    "TCPHub",
+    "connect_tcp",
+]
+
+
+class Endpoint:
+    """Interface every transport endpoint implements."""
+
+    address: int
+
+    async def send(self, dst: int, obj: Any) -> None:
+        await self.send_encoded(dst, encode(obj))
+
+    async def send_encoded(self, dst: int, body: bytes) -> None:
+        """Send an already-:func:`~repro.net.codec.encode`-d frame body.
+
+        Lets a multicast sender serialise its payload once and reuse the
+        bytes across destinations instead of re-pickling per recipient.
+        """
+        raise NotImplementedError
+
+    async def recv(self) -> tuple[int, Any]:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+
+class _Router:
+    """Shared attach/route/detach bookkeeping behind both hubs.
+
+    Each attached address owns one sink queue (``(src, body)`` items).
+    Frames for an address that has not attached yet are buffered and
+    flushed on attach (startup order becomes irrelevant); frames for an
+    address that attached and then detached — a crashed or halted node —
+    are dropped, mirroring the simulator's "crashed nodes receive
+    nothing".  Both transports inherit this, so their delivery semantics
+    cannot drift apart.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: dict[int, asyncio.Queue] = {}
+        self._seen: set[int] = set()
+        self._pending: dict[int, list[tuple[int, bytes]]] = {}
+
+    def _attach(self, address: int) -> asyncio.Queue:
+        sink: asyncio.Queue = asyncio.Queue()
+        self._sinks[address] = sink
+        self._seen.add(address)
+        for item in self._pending.pop(address, []):
+            sink.put_nowait(item)
+        return sink
+
+    def _route(self, src: int, dst: int, body: bytes) -> None:
+        sink = self._sinks.get(dst)
+        if sink is not None:
+            sink.put_nowait((src, body))
+        elif dst not in self._seen:
+            self._pending.setdefault(dst, []).append((src, body))
+        # else: destination detached (crashed/halted); drop.
+
+    def _detach(self, address: int, sink: Optional[asyncio.Queue] = None) -> None:
+        if sink is None or self._sinks.get(address) is sink:
+            self._sinks.pop(address, None)
+
+
+# -- in-memory ---------------------------------------------------------------
+
+
+class MemoryHub(_Router):
+    """Routes encoded frames between same-process endpoints via queues."""
+
+    def endpoint(self, address: int) -> "MemoryEndpoint":
+        return MemoryEndpoint(self, address, self._attach(address))
+
+    def route(self, src: int, dst: int, body: bytes) -> None:
+        self._route(src, dst, body)
+
+    def detach(self, address: int) -> None:
+        self._detach(address)
+
+
+class MemoryEndpoint(Endpoint):
+    """One attachment point on a :class:`MemoryHub`.
+
+    Frames are pickled on send and unpickled on receive even though they
+    never leave the process, so the memory transport exercises the exact
+    delivery semantics (payloads arrive as equal *copies*, not as shared
+    objects) of the TCP transport.
+    """
+
+    def __init__(self, hub: MemoryHub, address: int, queue: asyncio.Queue):
+        self._hub = hub
+        self.address = address
+        self._queue = queue
+
+    async def send_encoded(self, dst: int, body: bytes) -> None:
+        self._hub.route(self.address, dst, body)
+
+    async def recv(self) -> tuple[int, Any]:
+        src, body = await self._queue.get()
+        return src, decode(body)
+
+    async def close(self) -> None:
+        self._hub.detach(self.address)
+
+
+# -- TCP ---------------------------------------------------------------------
+
+
+class TCPHub(_Router):
+    """A TCP frame router (software switch) on one listening socket.
+
+    Endpoints connect, announce their address (:data:`~repro.net.codec.HELLO`),
+    then exchange ``[len][addr]`` framed bodies; the hub rewrites the
+    address field from destination to source when forwarding.
+
+    Each connection's sink queue is drained by a pump task writing to
+    that connection, so forwarding never blocks a reader loop on a slow
+    destination — which rules out head-of-line deadlocks when two nodes
+    flood each other past the socket buffers.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        super().__init__()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pumps: dict[int, asyncio.Task] = {}
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for pump in list(self._pumps.values()):
+            pump.cancel()
+        for pump in list(self._pumps.values()):
+            try:
+                await pump
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+        self._pumps.clear()
+        # Force-close established connections so remote endpoints see
+        # EOF instead of blocking in recv() forever when the hub goes
+        # away on an error path.
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+        self._sinks.clear()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            (address,) = HELLO.unpack(await reader.readexactly(HELLO.size))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        queue = self._attach(address)
+        self._pumps[address] = asyncio.create_task(self._pump(queue, writer))
+        self._writers[address] = writer
+        try:
+            while True:
+                header = await reader.readexactly(HEADER.size)
+                length, dst = HEADER.unpack(header)
+                body = await reader.readexactly(length)
+                self._route(address, dst, body)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            # Handler tasks are cancelled en masse when the hosting loop
+            # tears down after an error path; the hub is going away, so
+            # swallow the cancellation instead of logging a traceback
+            # per surviving connection.
+            pass
+        finally:
+            if self._sinks.get(address) is queue:
+                self._detach(address, queue)
+                pump = self._pumps.pop(address, None)
+                if pump is not None:
+                    pump.cancel()
+            if self._writers.get(address) is writer:
+                del self._writers[address]
+            writer.close()
+
+    @staticmethod
+    async def _pump(queue: asyncio.Queue, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                src, body = await queue.get()
+                writer.write(HEADER.pack(len(body), src) + body)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+class TCPEndpoint(Endpoint):
+    """One hub connection speaking the framed wire format."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        address: int,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.address = address
+
+    async def send_encoded(self, dst: int, body: bytes) -> None:
+        self._writer.write(HEADER.pack(len(body), dst) + body)
+        await self._writer.drain()
+
+    async def recv(self) -> tuple[int, Any]:
+        header = await self._reader.readexactly(HEADER.size)
+        length, src = HEADER.unpack(header)
+        body = await self._reader.readexactly(length)
+        return src, decode(body)
+
+    async def close(self) -> None:
+        # Half-close (FIN), then drain inbound until the hub closes its
+        # side.  Closing outright with unread frames in the receive
+        # buffer (e.g. data addressed to a crashing node in its crash
+        # round) makes the kernel send RST, which can destroy this
+        # endpoint's own in-flight outbound frames at the hub -- losing,
+        # say, a crashing node's final SENT report and deadlocking the
+        # round barrier.
+        try:
+            self._writer.write_eof()
+            await self._writer.drain()
+        except (OSError, RuntimeError):
+            pass
+        try:
+            while await asyncio.wait_for(self._reader.read(65536), timeout=5.0):
+                pass
+        except (asyncio.TimeoutError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def connect_tcp(
+    host: str, port: int, address: int, *, deadline: float = 10.0
+) -> TCPEndpoint:
+    """Connect an endpoint to a :class:`TCPHub`, retrying until ``deadline``.
+
+    Retrying lets worker processes race the hub's startup: the first
+    process to run simply waits for the listener to appear.
+    """
+    loop = asyncio.get_running_loop()
+    give_up = loop.time() + deadline
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            break
+        except OSError:
+            if loop.time() >= give_up:
+                raise
+            await asyncio.sleep(0.05)
+    writer.write(HELLO.pack(address))
+    await writer.drain()
+    return TCPEndpoint(reader, writer, address)

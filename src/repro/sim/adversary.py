@@ -105,12 +105,21 @@ def crash_schedule(
     t: int,
     *,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
     kind: str = "random",
     max_round: int = 64,
     partial: bool = True,
     victims: Optional[Iterable[int]] = None,
 ) -> ScheduledCrashes:
     """Build a :class:`ScheduledCrashes` adversary for ``t`` crashes.
+
+    Randomness is drawn exclusively from ``rng`` (an explicit
+    ``random.Random`` instance) or, when ``rng`` is ``None``, from a
+    fresh ``random.Random(seed)``.  The module-level ``random`` state is
+    never touched on any code path, so schedules are a pure function of
+    their arguments -- which is what keeps sweep rows byte-identical
+    across ``--jobs`` worker counts and lets the net runtime replay the
+    exact crash set the simulator saw.
 
     Parameters
     ----------
@@ -128,8 +137,11 @@ def crash_schedule(
         after a complete send phase.
     victims:
         Optional explicit victim pool to draw from (e.g. little nodes).
+    rng:
+        Explicit random source; overrides ``seed`` when given.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     pool = list(victims) if victims is not None else list(range(n))
     if t > len(pool):
         raise ValueError(f"cannot crash {t} nodes out of a pool of {len(pool)}")

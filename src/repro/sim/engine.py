@@ -63,7 +63,53 @@ from repro.sim.process import (
     payload_bits_cached,
 )
 
-__all__ = ["Engine", "RunResult"]
+__all__ = ["Engine", "RunResult", "check_pid_order", "collect_sends"]
+
+
+def check_pid_order(processes: Sequence[Process]) -> None:
+    """Require ``processes[i].pid == i`` (shared by both substrates)."""
+    for index, proc in enumerate(processes):
+        if proc.pid != index:
+            raise ProtocolError(
+                f"process at index {index} has pid {proc.pid}; "
+                "processes must be listed in pid order"
+            )
+
+
+def collect_sends(
+    proc: Process, rnd: int, keep: Optional[int], n: int
+) -> list[tuple[tuple[int, ...], Any]]:
+    """Normalise a process's round-``rnd`` sends, applying a partial-send
+    budget.
+
+    Returns a list of ``(destinations, payload)`` groups.  ``keep`` (when
+    not ``None``) limits the total number of point-to-point messages
+    delivered, truncating in the node's own send order -- this realises
+    the crash-round partial send.  Shared by :class:`Engine` and the
+    :mod:`repro.net` runtime so both substrates truncate identically.
+    """
+    groups: list[tuple[tuple[int, ...], Any]] = []
+    remaining = keep
+    for item in proc.send(rnd):
+        if remaining is not None and remaining <= 0:
+            break
+        if isinstance(item, Multicast):
+            dsts, payload = item.dsts, item.payload
+        else:
+            dst, payload = item
+            dsts = (dst,)
+        for dst in dsts:
+            if not (0 <= dst < n):
+                raise ProtocolError(
+                    f"process {proc.pid} sent to invalid pid {dst}"
+                )
+        if remaining is not None and len(dsts) > remaining:
+            dsts = tuple(dsts[:remaining])
+        if dsts:
+            groups.append((dsts, payload))
+            if remaining is not None:
+                remaining -= len(dsts)
+    return groups
 
 
 @dataclass
@@ -141,12 +187,7 @@ class Engine:
         fast_forward: bool = True,
         optimized: bool = True,
     ):
-        for index, proc in enumerate(processes):
-            if proc.pid != index:
-                raise ProtocolError(
-                    f"process at index {index} has pid {proc.pid}; "
-                    "processes must be listed in pid order"
-                )
+        check_pid_order(processes)
         self.processes = list(processes)
         self.n = len(processes)
         self.adversary = adversary if adversary is not None else NoFailures()
@@ -438,35 +479,7 @@ class Engine:
     def _collect_sends(
         self, proc: Process, rnd: int, keep: Optional[int]
     ) -> list[tuple[tuple[int, ...], Any]]:
-        """Normalise a process's sends, applying a partial-send budget.
-
-        Returns a list of ``(destinations, payload)`` groups.  ``keep``
-        (when not ``None``) limits the total number of point-to-point
-        messages delivered, truncating in the node's own send order --
-        this realises the crash-round partial send.
-        """
-        groups: list[tuple[tuple[int, ...], Any]] = []
-        remaining = keep
-        for item in proc.send(rnd):
-            if remaining is not None and remaining <= 0:
-                break
-            if isinstance(item, Multicast):
-                dsts, payload = item.dsts, item.payload
-            else:
-                dst, payload = item
-                dsts = (dst,)
-            for dst in dsts:
-                if not (0 <= dst < self.n):
-                    raise ProtocolError(
-                        f"process {proc.pid} sent to invalid pid {dst}"
-                    )
-            if remaining is not None and len(dsts) > remaining:
-                dsts = tuple(dsts[:remaining])
-            if dsts:
-                groups.append((dsts, payload))
-                if remaining is not None:
-                    remaining -= len(dsts)
-        return groups
+        return collect_sends(proc, rnd, keep, self.n)
 
     def _all_halted(self) -> bool:
         for proc in self.processes:

@@ -74,3 +74,38 @@ class TestCrashScheduleFactory:
     def test_partial_false_keeps_full_sends(self):
         adversary = crash_schedule(40, 8, seed=2, partial=False, max_round=10)
         assert all(spec.keep is None for spec in adversary.schedule.values())
+
+
+class TestExplicitRng:
+    """Adversary randomness is a pure function of its explicit seed/rng;
+    the module-level ``random`` state is never read or advanced (which
+    is what keeps sweep rows identical across ``--jobs`` counts)."""
+
+    def test_explicit_rng_overrides_seed(self):
+        import random
+
+        a = crash_schedule(40, 8, rng=random.Random(123), max_round=20)
+        b = crash_schedule(40, 8, rng=random.Random(123), seed=999, max_round=20)
+        assert a.schedule == b.schedule
+        c = crash_schedule(40, 8, seed=123, max_round=20)
+        assert a.schedule == c.schedule
+
+    def test_global_random_state_untouched(self):
+        import random
+
+        random.seed(0xDECAF)
+        before = random.getstate()
+        crash_schedule(40, 8, seed=3, max_round=20)
+        crash_schedule(40, 8, seed=4, kind="late", max_round=20)
+        crash_schedule(40, 8, seed=5, kind="staggered", max_round=20)
+        assert random.getstate() == before
+
+    def test_same_seed_same_schedule_regardless_of_global_state(self):
+        import random
+
+        random.seed(1)
+        a = crash_schedule(64, 9, seed=42, max_round=32)
+        random.seed(2)
+        [random.random() for _ in range(100)]
+        b = crash_schedule(64, 9, seed=42, max_round=32)
+        assert a.schedule == b.schedule

@@ -1,0 +1,349 @@
+"""Sim/net parity: the asyncio runtime vs the lock-step engine.
+
+The acceptance bar for ``repro.net``: for the same seed and the same
+``ScheduledCrashes`` schedule, the net runtime (in-memory transport)
+must produce *identical* decisions, crash sets and message/bit totals
+to ``Engine`` -- plus per-node and per-round tallies -- for consensus,
+gossip and checkpointing (and the rest of the protocol families).  The
+TCP transport must run the same executions over real loopback sockets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    run_aea,
+    run_ab_consensus,
+    run_checkpointing,
+    run_consensus,
+    run_gossip,
+    run_scv,
+)
+from repro.bench.workloads import byzantine_sample, input_vector, rumor_vector
+from repro.net import run_protocol_net
+from repro.sim import Engine, crash_schedule
+from repro.sim.adaptive import CrashDecidersAdversary, StaggeredCommitteeAdversary
+from repro.sim.adversary import CrashSpec, ScheduledCrashes
+from repro.sim.process import Multicast, Process, ProtocolError
+
+N = 100
+SEED = 11
+
+
+def assert_parity(net, sim):
+    """Full observable-equality check between net and sim results."""
+    assert net.metrics.summary() == sim.metrics.summary()
+    assert net.metrics.per_node_messages == sim.metrics.per_node_messages
+    assert net.metrics.per_node_bits == sim.metrics.per_node_bits
+    assert net.metrics.per_round_messages == sim.metrics.per_round_messages
+    assert net.decisions == sim.decisions
+    assert net.crashed == sim.crashed
+    assert net.completed == sim.completed
+
+
+class TestScheduledCrashParity:
+    """The issue's acceptance criterion: >= 3 protocols under a seeded
+    ``ScheduledCrashes`` schedule, identical decisions / crashed sets /
+    message and bit totals."""
+
+    def _schedule(self, n, t, seed, horizon):
+        adversary = crash_schedule(n, t, seed=seed, max_round=horizon)
+        assert isinstance(adversary, ScheduledCrashes)
+        return adversary
+
+    def test_consensus(self):
+        inputs = input_vector(N, "random", SEED)
+        adversary = self._schedule(N, 15, SEED, 40)
+        assert_parity(
+            run_consensus(inputs, 15, crashes=adversary, backend="net"),
+            run_consensus(inputs, 15, crashes=adversary),
+        )
+
+    def test_gossip(self):
+        rumors = rumor_vector(N, SEED)
+        adversary = self._schedule(N, 12, SEED, 30)
+        assert_parity(
+            run_gossip(rumors, 12, crashes=adversary, backend="net"),
+            run_gossip(rumors, 12, crashes=adversary),
+        )
+
+    def test_checkpointing(self):
+        adversary = self._schedule(N, 10, SEED, 30)
+        assert_parity(
+            run_checkpointing(N, 10, crashes=adversary, backend="net"),
+            run_checkpointing(N, 10, crashes=adversary),
+        )
+
+    def test_consensus_many(self):
+        inputs = input_vector(N, "random", SEED)
+        adversary = self._schedule(N, 60, SEED, 80)
+        assert_parity(
+            run_consensus(
+                inputs, 60, algorithm="many", crashes=adversary, backend="net"
+            ),
+            run_consensus(inputs, 60, algorithm="many", crashes=adversary),
+        )
+
+    def test_aea_and_scv(self):
+        inputs = input_vector(N, "random", SEED)
+        assert_parity(
+            run_aea(inputs, 16, seed=SEED, backend="net"),
+            run_aea(inputs, 16, seed=SEED),
+        )
+        assert_parity(
+            run_scv(N, 9, range(70), 1, seed=SEED, backend="net"),
+            run_scv(N, 9, range(70), 1, seed=SEED),
+        )
+
+    @pytest.mark.parametrize("kind", ["random", "early", "late", "staggered"])
+    def test_crash_kinds(self, kind):
+        inputs = input_vector(N, "random", SEED)
+        assert_parity(
+            run_consensus(inputs, 15, crashes=kind, seed=SEED, backend="net"),
+            run_consensus(inputs, 15, crashes=kind, seed=SEED),
+        )
+
+    @pytest.mark.parametrize("behaviour", ["silent", "equivocate", "spam"])
+    def test_byzantine(self, behaviour):
+        inputs = input_vector(N, "random", SEED)
+        byz = byzantine_sample(N, 4, SEED)
+        net = run_ab_consensus(
+            inputs, 4, byzantine=byz, behaviour=behaviour, backend="net"
+        )
+        sim = run_ab_consensus(inputs, 4, byzantine=byz, behaviour=behaviour)
+        assert_parity(net, sim)
+        if behaviour == "spam":
+            assert net.metrics.faulty_messages > 0
+
+
+class TestAdaptiveAdversaryParity:
+    """Adaptive adversaries read live status through the coordinator's
+    RuntimeView exactly as they read the live engine."""
+
+    def test_staggered_committee(self):
+        inputs = input_vector(60, "random", SEED)
+        make = lambda: StaggeredCommitteeAdversary(committee_size=20, budget=8)
+        assert_parity(
+            run_consensus(inputs, 9, crashes=make(), backend="net"),
+            run_consensus(inputs, 9, crashes=make()),
+        )
+
+    def test_crash_deciders(self):
+        inputs = input_vector(60, "random", SEED)
+        make = lambda: CrashDecidersAdversary(budget=6, per_round=2)
+        assert_parity(
+            run_consensus(inputs, 9, crashes=make(), backend="net"),
+            run_consensus(inputs, 9, crashes=make()),
+        )
+
+
+class TestTCPTransport:
+    """The same executions over real loopback sockets."""
+
+    def test_consensus_over_tcp(self):
+        inputs = input_vector(40, "random", SEED)
+        assert_parity(
+            run_consensus(inputs, 5, seed=SEED, backend="tcp"),
+            run_consensus(inputs, 5, seed=SEED),
+        )
+
+    def test_gossip_over_tcp(self):
+        rumors = rumor_vector(30, SEED)
+        assert_parity(
+            run_gossip(rumors, 4, seed=SEED, backend="tcp"),
+            run_gossip(rumors, 4, seed=SEED),
+        )
+
+
+class _Recorder(Process):
+    """Broadcasts a distinct payload every round and logs every
+    delivery, so delivered-message *sets* can be compared across
+    substrates."""
+
+    def on_start(self):
+        self.log = []
+
+    def send(self, rnd):
+        yield Multicast(tuple(range(self.n)), ("chunk", rnd, self.pid))
+        yield ((self.pid + 1) % self.n, rnd)
+
+    def receive(self, rnd, inbox):
+        for src, payload in inbox:
+            self.log.append((rnd, src, payload))
+        if rnd >= 3:
+            self.decide(len(self.log))
+            self.halt()
+
+
+def _delivered(processes):
+    return {
+        proc.pid: tuple(proc.log) for proc in processes if hasattr(proc, "log")
+    }
+
+
+class TestPartialSendProperty:
+    """Satellite: property-based partial-send semantics.
+
+    For ``CrashSpec.keep`` in ``{None, 0, k}`` the delivered-message
+    sets must be identical across ``Engine(optimized=True)``,
+    ``Engine(optimized=False)`` and the net runtime's in-memory
+    transport -- not just the totals, but which message reached whom in
+    which round, in which order.
+    """
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        keep=st.one_of(st.none(), st.just(0), st.integers(1, 16)),
+        crash_rounds=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 3)),
+            min_size=0,
+            max_size=4,
+            unique_by=lambda pair: pair[1],
+        ),
+    )
+    def test_delivered_sets_identical(self, keep, crash_rounds):
+        n = 10
+        schedule = {
+            3 * idx: CrashSpec(round=rnd, keep=keep)
+            for rnd, idx in crash_rounds
+        }
+        make = lambda: [_Recorder(pid, n) for pid in range(n)]
+        runs = {}
+        for label, runner in (
+            ("optimized", lambda p: Engine(p, ScheduledCrashes(schedule)).run()),
+            (
+                "reference",
+                lambda p: Engine(
+                    p, ScheduledCrashes(schedule), optimized=False
+                ).run(),
+            ),
+            ("net", lambda p: run_protocol_net(p, ScheduledCrashes(schedule))),
+        ):
+            procs = make()
+            result = runner(procs)
+            runs[label] = (result, _delivered(procs))
+        ref_result, ref_log = runs["reference"]
+        for label in ("optimized", "net"):
+            result, log = runs[label]
+            assert log == ref_log, f"{label} delivered different messages"
+            assert result.metrics.summary() == ref_result.metrics.summary()
+            assert result.decisions == ref_result.decisions
+            assert result.crashed == ref_result.crashed
+
+
+class TestRuntimeEdgeCases:
+    def test_everyone_crashes(self):
+        n = 8
+        schedule = {pid: CrashSpec(round=1, keep=0) for pid in range(n)}
+        make = lambda: [_Recorder(pid, n) for pid in range(n)]
+        net = run_protocol_net(make(), ScheduledCrashes(schedule))
+        sim = Engine(make(), ScheduledCrashes(schedule)).run()
+        assert_parity(net, sim)
+        assert net.completed
+
+    def test_halt_in_on_start(self):
+        class Quitter(Process):
+            def on_start(self):
+                self.decide("early")
+                self.halt()
+
+        make = lambda: [Quitter(pid, 4) for pid in range(4)]
+        net = run_protocol_net(make())
+        sim = Engine(make()).run()
+        assert_parity(net, sim)
+        assert net.decisions == {pid: "early" for pid in range(4)}
+
+    def test_fast_forward_off(self):
+        inputs = input_vector(50, "random", SEED)
+        assert_parity(
+            run_consensus(inputs, 7, seed=SEED, fast_forward=False, backend="net"),
+            run_consensus(inputs, 7, seed=SEED, fast_forward=False),
+        )
+
+    def test_invalid_destination_raises(self):
+        class Bad(Process):
+            def send(self, rnd):
+                return [(self.n + 3, 0)]
+
+        with pytest.raises(ProtocolError):
+            run_protocol_net([Bad(0, 1)])
+
+    def test_max_rounds_marks_incomplete(self):
+        class Forever(Process):
+            def send(self, rnd):
+                return [((self.pid + 1) % self.n, rnd)]
+
+        make = lambda: [Forever(pid, 3) for pid in range(3)]
+        net = run_protocol_net(make(), max_rounds=5)
+        sim = Engine(make(), max_rounds=5).run()
+        assert_parity(net, sim)
+        assert not net.completed
+        assert net.rounds == 5
+
+    def test_result_carries_local_processes(self):
+        procs = [_Recorder(pid, 6) for pid in range(6)]
+        result = run_protocol_net(procs)
+        assert list(result.processes) == procs
+        assert result.correct_pids() == list(range(6))
+
+    def test_halt_inside_send(self):
+        # A process that halts in its send() hook must not strand its
+        # node task: the engine drops it from the receive phase onwards
+        # and the run still terminates (regression: this deadlocked the
+        # runtime's final gather).
+        class HaltsInSend(Process):
+            def send(self, rnd):
+                if rnd == 1 and self.pid == 0:
+                    self.decide("mid-send")
+                    self.halt()
+                    return ()
+                return [((self.pid + 1) % self.n, rnd)]
+
+            def receive(self, rnd, inbox):
+                if rnd >= 3:
+                    self.decide("end")
+                    self.halt()
+
+        make = lambda: [HaltsInSend(pid, 5) for pid in range(5)]
+        net = run_protocol_net(make())
+        sim = Engine(make()).run()
+        assert_parity(net, sim)
+        assert net.completed
+        assert net.decisions[0] == "mid-send"
+
+    def test_coordinator_result_supports_property_checks(self):
+        # A distributed run's result (no local Process objects) must
+        # still answer correct_pids()/check_consensus meaningfully: the
+        # coordinator substitutes its NodeStatus records.
+        import asyncio
+
+        from repro import check_consensus
+        from repro.api import build_consensus_processes
+        from repro.net import MemoryHub, Synchronizer, run_node
+        from repro.sim.adversary import crash_schedule
+
+        inputs = input_vector(20, "random", SEED)
+        procs, horizon = build_consensus_processes(inputs, 3)
+        adversary = crash_schedule(20, 3, seed=SEED, max_round=horizon)
+
+        async def drive():
+            hub = MemoryHub()
+            endpoints = [hub.endpoint(addr) for addr in range(21)]
+            sync = Synchronizer(20, adversary)
+            tasks = [
+                asyncio.ensure_future(run_node(p, endpoints[p.pid], 20))
+                for p in procs
+            ]
+            result = await sync.run(endpoints[20])
+            await asyncio.gather(*tasks)
+            return result
+
+        result = asyncio.run(drive())
+        assert sorted(p.pid for p in result.processes) == list(range(20))
+        assert set(result.correct_pids()) == set(range(20)) - result.crashed
+        check_consensus(result, inputs)  # termination clause is non-vacuous
