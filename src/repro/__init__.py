@@ -22,6 +22,9 @@ Layers:
 * :mod:`repro.singleport` -- the Section 8 single-port adaptation;
 * :mod:`repro.lowerbounds` -- the Theorem 13 adversary constructions;
 * :mod:`repro.baselines` -- classical comparators;
+* :mod:`repro.scenarios` -- declarative omission/partition/churn fault
+  scenarios (see ``docs/faults.md``);
+* :mod:`repro.trace` -- deterministic record/replay of executions;
 * :mod:`repro.bench` -- the experiment harness behind EXPERIMENTS.md.
 """
 
@@ -42,7 +45,9 @@ from repro.properties import (
     check_gossip,
     check_scv,
 )
+from repro.scenarios import Scenario, scenario_schedule
 from repro.sim.engine import RunResult
+from repro.trace import Trace, replay_trace
 
 __version__ = "1.0.0"
 
@@ -50,16 +55,20 @@ __all__ = [
     "ProtocolParams",
     "PropertyViolation",
     "RunResult",
+    "Scenario",
+    "Trace",
     "__version__",
     "check_aea",
     "check_checkpointing",
     "check_consensus",
     "check_gossip",
     "check_scv",
+    "replay_trace",
     "run_aea",
     "run_ab_consensus",
     "run_checkpointing",
     "run_consensus",
     "run_gossip",
     "run_scv",
+    "scenario_schedule",
 ]

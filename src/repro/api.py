@@ -27,6 +27,20 @@ The ``build_*_processes`` helpers expose the process construction on
 its own so multi-OS-process deployments can rebuild identical process
 shards from the same parameters (see ``examples/net_consensus.py``).
 
+Fault scenarios and traces
+--------------------------
+Every ``run_*`` also accepts the extended fault machinery:
+
+* ``scenario=`` -- a declarative :class:`repro.scenarios.Scenario`
+  (omission / partition / churn on top of crashes); replaces the
+  ``crashes`` schedule when given.
+* ``record_trace=`` -- capture the execution into a
+  :class:`repro.trace.Trace` (``True`` attaches it as ``result.trace``;
+  a path additionally writes the JSON artifact).
+* ``replay=`` -- re-execute a recorded trace under its fault schedule,
+  verifying every delivered message and the final metrics bit-for-bit
+  (:class:`repro.trace.TraceDivergence` on any difference).
+
 >>> from repro import run_consensus
 >>> result = run_consensus([0, 1] * 50, t=15, crashes="random", seed=1)
 >>> set(result.correct_decisions().values())
@@ -35,6 +49,7 @@ shards from the same parameters (see ``examples/net_consensus.py``).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Optional, Sequence
 
 from repro.auth.signatures import SignatureService
@@ -55,16 +70,20 @@ from repro.core.gossip import GossipProcess, gossip_overlay
 from repro.core.params import ProtocolParams
 from repro.core.scv import SCVProcess
 from repro.graphs.families import spread_graph
+from repro.scenarios import Scenario
 from repro.sim.adversary import CrashAdversary, NoFailures, crash_schedule
 from repro.sim.engine import Engine, RunResult
 from repro.sim.process import Process
+from repro.trace import Trace, TraceChecker, TraceRecorder
 
 __all__ = [
+    "build_ab_consensus_processes",
     "build_aea_processes",
     "build_checkpointing_processes",
     "build_consensus_processes",
     "build_gossip_processes",
     "build_scv_processes",
+    "rebuild_trace_processes",
     "run_aea",
     "run_ab_consensus",
     "run_checkpointing",
@@ -82,15 +101,24 @@ BYZANTINE_BEHAVIOURS: dict[str, Callable] = {
 
 
 def _adversary(
-    crashes: Optional[str | CrashAdversary],
+    crashes: Optional[str | CrashAdversary | Scenario],
     n: int,
     t: int,
     seed: int,
     horizon: int,
     victims: Optional[Sequence[int]] = None,
+    scenario: Optional[Scenario] = None,
 ) -> CrashAdversary:
+    if scenario is not None:
+        if scenario.n != n:
+            raise ValueError(
+                f"scenario was built for n={scenario.n}, protocol has n={n}"
+            )
+        return scenario.adversary()
     if crashes is None:
         return NoFailures()
+    if isinstance(crashes, Scenario):
+        return _adversary(None, n, t, seed, horizon, scenario=crashes)
     if isinstance(crashes, CrashAdversary):
         return crashes
     return crash_schedule(
@@ -105,36 +133,94 @@ def _adversary(
 
 def _execute(
     processes: Sequence[Process],
-    adversary: CrashAdversary,
+    adversary: Optional[CrashAdversary],
     *,
     backend: str,
     byzantine: frozenset[int] = frozenset(),
     max_rounds: int,
     fast_forward: bool = True,
     optimized: bool = True,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
+    protocol: Optional[dict] = None,
+    scenario: Optional[Scenario] = None,
 ) -> RunResult:
-    """Dispatch one execution to the selected backend."""
+    """Dispatch one execution to the selected backend.
+
+    ``record_trace`` attaches a :class:`~repro.trace.TraceRecorder`
+    and seals the resulting :class:`~repro.trace.Trace` onto
+    ``result.trace`` (writing it to disk when a path is given);
+    ``replay`` overrides ``adversary`` with the trace's recorded fault
+    schedule and verifies the execution through a
+    :class:`~repro.trace.TraceChecker`.  ``protocol`` is the JSON-safe
+    rebuild recipe recorded into traces so
+    :func:`repro.trace.replay_trace` can reconstruct the processes
+    standalone.
+    """
+    checker: Optional[TraceChecker] = None
+    recorder = None
+    if replay is not None and record_trace:
+        raise ValueError(
+            "record_trace and replay are mutually exclusive: a replay is "
+            "verified against its trace, not re-recorded (replay first, "
+            "then record a fresh run if you need a new artifact)"
+        )
+    if replay is not None:
+        trace = Trace.coerce(replay)
+        if trace.n != len(processes):
+            raise ValueError(
+                f"trace was recorded with n={trace.n}, "
+                f"got {len(processes)} processes"
+            )
+        adversary = trace.adversary()
+        checker = recorder = TraceChecker(trace)
+    elif record_trace:
+        recorder = TraceRecorder(
+            len(processes),
+            byzantine=byzantine,
+            protocol=protocol,
+            scenario=scenario.to_dict() if scenario is not None else None,
+            max_rounds=max_rounds,
+        )
+
     if backend == "sim":
-        return Engine(
+        result = Engine(
             processes,
             adversary,
             byzantine=byzantine,
             max_rounds=max_rounds,
             fast_forward=fast_forward,
             optimized=optimized,
+            recorder=recorder,
         ).run()
-    if backend in ("net", "tcp"):
+    elif backend in ("net", "tcp"):
         from repro.net import run_protocol_net
 
-        return run_protocol_net(
+        result = run_protocol_net(
             processes,
             adversary,
             byzantine=byzantine,
             max_rounds=max_rounds,
             fast_forward=fast_forward,
             transport="memory" if backend == "net" else "tcp",
+            recorder=recorder,
         )
-    raise ValueError(f"unknown backend {backend!r}; choose 'sim', 'net' or 'tcp'")
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose 'sim', 'net' or 'tcp'"
+        )
+
+    if checker is not None:
+        checker.finish(result)
+    elif recorder is not None:
+        label = backend
+        if backend == "sim":
+            label = "sim-opt" if optimized else "sim-ref"
+        trace = recorder.finish(result, backend=label)
+        result.trace = trace
+        if isinstance(record_trace, (str, os.PathLike)):
+            trace.save(record_trace)
+    return result
 
 
 # -- process builders --------------------------------------------------------
@@ -249,7 +335,73 @@ def build_checkpointing_processes(
     return processes, params.gossip_phase_count * (2 + params.little_probe_rounds)
 
 
+def build_ab_consensus_processes(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    byzantine: Sequence[int] = (),
+    behaviour: str = "equivocate",
+    overlay_seed: int = 0,
+) -> tuple[list[Process], int]:
+    """Authenticated-Byzantine consensus process vector; see
+    :func:`build_consensus_processes` for the contract.
+
+    ``byzantine`` pids get the ``behaviour`` strategy from
+    :data:`BYZANTINE_BEHAVIOURS` instead of the honest
+    ``ABConsensusProcess``; all share one simulated
+    :class:`~repro.auth.signatures.SignatureService`.  The returned
+    horizon is 1: the Byzantine runs use no crash adversary, so no
+    schedule is generated from it.
+    """
+    n = len(inputs)
+    if 2 * t >= n:
+        raise ValueError(f"AB-Consensus requires t < n/2, got t={t}, n={n}")
+    byz = frozenset(byzantine)
+    if len(byz) > t:
+        raise ValueError(f"{len(byz)} Byzantine nodes exceed the bound t={t}")
+    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
+    service = SignatureService(n)
+    spread = spread_graph(n, params.seed)
+    make_byz = BYZANTINE_BEHAVIOURS[behaviour]
+    processes: list[Process] = []
+    for pid in range(n):
+        if pid in byz:
+            processes.append(make_byz(pid, n, params, service))
+        else:
+            processes.append(
+                ABConsensusProcess(pid, params, inputs[pid], service, spread=spread)
+            )
+    return processes, 1
+
+
 # -- entry points ------------------------------------------------------------
+
+
+def _resolve_faults(
+    crashes: Optional[str | CrashAdversary | Scenario],
+    scenario: Optional[Scenario],
+    n: int,
+    t: int,
+    seed: int,
+    horizon: int,
+) -> tuple[CrashAdversary, Optional[Scenario]]:
+    """Normalise the two fault arguments into ``(adversary, scenario)``.
+
+    ``scenario`` wins over ``crashes``; a :class:`Scenario` passed as
+    ``crashes`` is promoted.  The returned scenario (if any) is recorded
+    into traces as provenance.
+    """
+    if scenario is None and isinstance(crashes, Scenario):
+        scenario = crashes
+    adversary = _adversary(
+        None if scenario is not None else crashes,
+        n,
+        t,
+        seed,
+        horizon,
+        scenario=scenario,
+    )
+    return adversary, scenario
 
 
 def run_consensus(
@@ -257,27 +409,27 @@ def run_consensus(
     t: int,
     *,
     algorithm: str = "auto",
-    crashes: Optional[str | CrashAdversary] = "random",
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 200_000,
     fast_forward: bool = True,
     optimized: bool = True,
     backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
 ) -> RunResult:
     """Binary consensus with crashes (Figs. 3-4, Theorems 7-8).
 
     ``algorithm``: ``"few"`` (requires ``t < n/5``), ``"many"`` (any
     ``t < n``), or ``"auto"`` (``"few"`` when ``t < n/5``).
-    ``crashes``: an adversary instance, a schedule kind for
-    :func:`~repro.sim.adversary.crash_schedule`, or ``None``.
-    ``backend``: ``"sim"``, ``"net"`` or ``"tcp"`` (module docstring).
     """
     n = len(inputs)
     processes, horizon = build_consensus_processes(
         inputs, t, algorithm=algorithm, overlay_seed=overlay_seed
     )
-    adversary = _adversary(crashes, n, t, seed, horizon)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
     return _execute(
         processes,
         adversary,
@@ -285,6 +437,16 @@ def run_consensus(
         max_rounds=max_rounds,
         fast_forward=fast_forward,
         optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "consensus",
+            "inputs": list(inputs),
+            "t": t,
+            "algorithm": algorithm,
+            "overlay_seed": overlay_seed,
+        },
     )
 
 
@@ -292,23 +454,37 @@ def run_aea(
     inputs: Sequence[int],
     t: int,
     *,
-    crashes: Optional[str | CrashAdversary] = "random",
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    fast_forward: bool = True,
     optimized: bool = True,
     backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
 ) -> RunResult:
     """Almost-Everywhere-Agreement alone (Fig. 1, Theorem 5)."""
     n = len(inputs)
     processes, horizon = build_aea_processes(inputs, t, overlay_seed=overlay_seed)
-    adversary = _adversary(crashes, n, t, seed, horizon)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
     return _execute(
         processes,
         adversary,
         backend=backend,
         max_rounds=max_rounds,
+        fast_forward=fast_forward,
         optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "aea",
+            "inputs": list(inputs),
+            "t": t,
+            "overlay_seed": overlay_seed,
+        },
     )
 
 
@@ -318,12 +494,16 @@ def run_scv(
     holders: Sequence[int],
     common_value: Any = 1,
     *,
-    crashes: Optional[str | CrashAdversary] = "random",
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    fast_forward: bool = True,
     optimized: bool = True,
     backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
 ) -> RunResult:
     """Spread-Common-Value alone (Fig. 2, Theorem 6).
 
@@ -333,13 +513,25 @@ def run_scv(
     processes, horizon = build_scv_processes(
         n, t, holders, common_value, overlay_seed=overlay_seed
     )
-    adversary = _adversary(crashes, n, t, seed, horizon)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
     return _execute(
         processes,
         adversary,
         backend=backend,
         max_rounds=max_rounds,
+        fast_forward=fast_forward,
         optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "scv",
+            "n": n,
+            "t": t,
+            "holders": list(holders),
+            "common_value": common_value,
+            "overlay_seed": overlay_seed,
+        },
     )
 
 
@@ -347,23 +539,37 @@ def run_gossip(
     rumors: Sequence[Any],
     t: int,
     *,
-    crashes: Optional[str | CrashAdversary] = "random",
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    fast_forward: bool = True,
     optimized: bool = True,
     backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
 ) -> RunResult:
     """Gossiping with crashes (Fig. 5, Theorem 9), ``t < n/5``."""
     n = len(rumors)
     processes, horizon = build_gossip_processes(rumors, t, overlay_seed=overlay_seed)
-    adversary = _adversary(crashes, n, t, seed, horizon)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
     return _execute(
         processes,
         adversary,
         backend=backend,
         max_rounds=max_rounds,
+        fast_forward=fast_forward,
         optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "gossip",
+            "rumors": list(rumors),
+            "t": t,
+            "overlay_seed": overlay_seed,
+        },
     )
 
 
@@ -371,24 +577,38 @@ def run_checkpointing(
     n: int,
     t: int,
     *,
-    crashes: Optional[str | CrashAdversary] = "random",
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 200_000,
+    fast_forward: bool = True,
     optimized: bool = True,
     backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
 ) -> RunResult:
     """Checkpointing with crashes (Fig. 6, Theorem 10), ``t < n/5``."""
     processes, horizon = build_checkpointing_processes(
         n, t, overlay_seed=overlay_seed
     )
-    adversary = _adversary(crashes, n, t, seed, horizon)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
     return _execute(
         processes,
         adversary,
         backend=backend,
         max_rounds=max_rounds,
+        fast_forward=fast_forward,
         optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "checkpointing",
+            "n": n,
+            "t": t,
+            "overlay_seed": overlay_seed,
+        },
     )
 
 
@@ -401,38 +621,164 @@ def run_ab_consensus(
     seed: int = 0,
     overlay_seed: int = 0,
     max_rounds: int = 100_000,
+    fast_forward: bool = True,
     optimized: bool = True,
     backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
 ) -> RunResult:
     """Consensus under authenticated Byzantine faults (Fig. 7, Thm. 11).
 
     ``byzantine`` lists the faulty nodes (at most ``t``); ``behaviour``
     selects their strategy from ``BYZANTINE_BEHAVIOURS`` (``"silent"``,
-    ``"equivocate"``, ``"spam"``).
+    ``"equivocate"``, ``"spam"``).  The Byzantine fault budget is spent
+    on the ``byzantine`` set itself, so the default fault schedule is
+    failure-free; a ``scenario`` may still add link faults (its crash /
+    churn events must avoid the Byzantine pids).
     """
     n = len(inputs)
-    if 2 * t >= n:
-        raise ValueError(f"AB-Consensus requires t < n/2, got t={t}, n={n}")
     byz = frozenset(byzantine if byzantine is not None else [])
-    if len(byz) > t:
-        raise ValueError(f"{len(byz)} Byzantine nodes exceed the bound t={t}")
-    params = ProtocolParams(n=n, t=t, seed=overlay_seed)
-    service = SignatureService(n)
-    spread = spread_graph(n, params.seed)
-    make_byz = BYZANTINE_BEHAVIOURS[behaviour]
-    processes = []
-    for pid in range(n):
-        if pid in byz:
-            processes.append(make_byz(pid, n, params, service))
-        else:
-            processes.append(
-                ABConsensusProcess(pid, params, inputs[pid], service, spread=spread)
-            )
+    processes, _horizon = build_ab_consensus_processes(
+        inputs,
+        t,
+        byzantine=sorted(byz),
+        behaviour=behaviour,
+        overlay_seed=overlay_seed,
+    )
+    adversary, scenario = _resolve_faults(None, scenario, n, t, seed, 1)
     return _execute(
         processes,
-        NoFailures(),
+        adversary,
         backend=backend,
         byzantine=byz,
         max_rounds=max_rounds,
+        fast_forward=fast_forward,
         optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "ab_consensus",
+            "inputs": list(inputs),
+            "t": t,
+            "byzantine": sorted(byz),
+            "behaviour": behaviour,
+            "overlay_seed": overlay_seed,
+        },
     )
+
+
+def rebuild_trace_processes(
+    protocol: dict,
+) -> tuple[list[Process], frozenset[int]]:
+    """Rebuild ``(processes, byzantine)`` from a trace's protocol recipe.
+
+    The inverse of the ``protocol`` dicts the ``run_*`` entry points
+    record into traces; used by :func:`repro.trace.replay_trace` for
+    standalone replays.  Deterministic in the recipe, by the same
+    argument as the ``build_*_processes`` builders.
+    """
+    recipe = dict(protocol)
+    name = recipe.pop("name", None)
+    overlay_seed = recipe.get("overlay_seed", 0)
+    if name == "consensus":
+        processes, _ = build_consensus_processes(
+            recipe["inputs"],
+            recipe["t"],
+            algorithm=recipe.get("algorithm", "auto"),
+            overlay_seed=overlay_seed,
+        )
+        return processes, frozenset()
+    if name == "aea":
+        processes, _ = build_aea_processes(
+            recipe["inputs"], recipe["t"], overlay_seed=overlay_seed
+        )
+        return processes, frozenset()
+    if name == "scv":
+        processes, _ = build_scv_processes(
+            recipe["n"],
+            recipe["t"],
+            recipe["holders"],
+            recipe.get("common_value", 1),
+            overlay_seed=overlay_seed,
+        )
+        return processes, frozenset()
+    if name == "gossip":
+        processes, _ = build_gossip_processes(
+            recipe["rumors"], recipe["t"], overlay_seed=overlay_seed
+        )
+        return processes, frozenset()
+    if name == "checkpointing":
+        processes, _ = build_checkpointing_processes(
+            recipe["n"], recipe["t"], overlay_seed=overlay_seed
+        )
+        return processes, frozenset()
+    if name == "ab_consensus":
+        processes, _ = build_ab_consensus_processes(
+            recipe["inputs"],
+            recipe["t"],
+            byzantine=recipe.get("byzantine", ()),
+            behaviour=recipe.get("behaviour", "equivocate"),
+            overlay_seed=overlay_seed,
+        )
+        return processes, frozenset(recipe.get("byzantine", ()))
+    raise ValueError(f"cannot rebuild processes for protocol {name!r}")
+
+
+_EXECUTION_DOC = """
+
+    Execution parameters (uniform across every ``run_*`` entry point)
+    -----------------------------------------------------------------
+    crashes:
+        An adversary instance, a schedule kind for
+        :func:`~repro.sim.adversary.crash_schedule` (``"random"`` /
+        ``"early"`` / ``"late"`` / ``"staggered"``), a
+        :class:`~repro.scenarios.Scenario`, or ``None`` for a
+        failure-free run.  (``run_ab_consensus`` spends its fault budget
+        on the ``byzantine`` set instead and has no ``crashes``.)
+    seed / overlay_seed:
+        Seed the generated crash schedule, resp. the deterministic
+        overlay graphs.
+    max_rounds:
+        Safety bound; exceeding it marks the run ``completed=False``.
+    fast_forward:
+        Quiescence skipping; observable behaviour is identical either
+        way (pinned by tests).
+    backend:
+        Execution substrate: ``"sim"`` (lock-step
+        :class:`~repro.sim.engine.Engine`, default), ``"net"`` (asyncio
+        runtime over the in-memory hub) or ``"tcp"`` (asyncio runtime
+        over loopback sockets).  All three produce identical metrics,
+        decisions and crash sets for the same fault schedule.
+    optimized:
+        Round-loop selection for the sim backend: the batched hot path
+        (default) or the straight-line reference loop; ignored by
+        ``"net"``/``"tcp"``.  Results are identical.
+    scenario:
+        A declarative :class:`~repro.scenarios.Scenario` of
+        omission / partition / churn (plus crash) faults; overrides
+        ``crashes`` when given.
+    record_trace:
+        Record the execution into a :class:`~repro.trace.Trace`:
+        ``True`` attaches it as ``result.trace``; a path string also
+        writes the JSON artifact.
+    replay:
+        A recorded trace (``Trace``, dict, JSON string or path):
+        re-execute under the trace's fault schedule and verify every
+        delivered message, drop, crash, rejoin and the final metrics
+        bit-for-bit (raises :class:`~repro.trace.TraceDivergence` on
+        any difference).  Overrides ``crashes``/``scenario``.
+"""
+
+for _entry_point in (
+    run_consensus,
+    run_aea,
+    run_scv,
+    run_gossip,
+    run_checkpointing,
+    run_ab_consensus,
+):
+    if _entry_point.__doc__ is not None:  # stripped under python -OO
+        _entry_point.__doc__ += _EXECUTION_DOC
+del _entry_point

@@ -48,6 +48,10 @@ EXPERIMENTS = {
     "e13": (series.lowerbounds_spec, "Theorem 13: lower bounds"),
     "baselines": (series.baselines_spec, "Cross-comparison vs classical baselines"),
     "net": (series.net_spec, "Simulator vs. asyncio net runtime (parity + cost)"),
+    "scenarios": (
+        series.scenarios_spec,
+        "Fault scenarios: omission / partition / churn degradation",
+    ),
 }
 
 

@@ -67,6 +67,7 @@ __all__ = [
     "exp_e12_singleport",
     "exp_e13_lowerbounds",
     "exp_net",
+    "exp_scenarios",
     "exp_table1",
 ]
 
@@ -677,6 +678,119 @@ def net_unit(params: dict) -> dict:
         "net_ms": round(1000 * net_s, 1),
         "net/sim": round(net_s / sim_s, 2) if sim_s else float("inf"),
     }
+
+
+def scenario_unit(params: dict) -> dict:
+    """One fault-model degradation cell: run the protocol under a seeded
+    omission / partition / churn scenario on all three backends, certify
+    exact metric parity, and *report* (rather than assert) whether the
+    problem's correctness properties survived the extended fault class.
+
+    The paper proves its guarantees for the crash model only, so a
+    ``violated`` safety column under partitions is a finding, not a
+    bug — this series measures how the algorithms degrade outside their
+    model (the Dwork–Halpern–Waarts question).
+    """
+    from repro import PropertyViolation
+    from repro.scenarios import scenario_schedule
+
+    problem, model, n, seed = (
+        params["problem"],
+        params["model"],
+        params["n"],
+        params["seed"],
+    )
+    t = n // 6
+    horizon = 16
+    if model == "omission":
+        scenario = scenario_schedule(
+            n, seed=seed, omission_links=4 * n, max_round=horizon,
+            name=f"omission-{n}-{seed}",
+        )
+    elif model == "partition":
+        scenario = scenario_schedule(
+            n, seed=seed, partition_windows=2, max_round=horizon,
+            name=f"partition-{n}-{seed}",
+        )
+    elif model == "churn":
+        scenario = scenario_schedule(
+            n, seed=seed, churn_nodes=max(1, t // 2), max_round=horizon,
+            name=f"churn-{n}-{seed}",
+        )
+    elif model == "mixed":
+        scenario = scenario_schedule(
+            n, seed=seed, crashes=t // 3, omission_links=n,
+            partition_windows=1, churn_nodes=max(1, t // 4),
+            max_round=horizon, name=f"mixed-{n}-{seed}",
+        )
+    else:
+        raise ValueError(f"unknown scenario model {model!r}")
+
+    def execute(**kw):
+        if problem == "consensus":
+            inputs = input_vector(n, "random", seed)
+            result = run_consensus(inputs, t, scenario=scenario, **kw)
+            checker = lambda: check_consensus(result, inputs)
+        elif problem == "gossip":
+            rumors = rumor_vector(n, seed)
+            result = run_gossip(rumors, t, scenario=scenario, **kw)
+            checker = lambda: check_gossip(result, rumors)
+        else:
+            raise ValueError(f"unknown scenario problem {problem!r}")
+        return result, checker
+
+    opt, checker = execute()
+    ref, _ = execute(optimized=False)
+    net, _ = execute(backend="net")
+    for label, other in (("sim-ref", ref), ("net", net)):
+        if (
+            other.metrics.summary() != opt.metrics.summary()
+            or other.decisions != opt.decisions
+            or other.crashed != opt.crashed
+        ):
+            raise AssertionError(
+                f"{label} parity violated for {problem}/{model} n={n} "
+                f"seed={seed}: {other.metrics.summary()} vs "
+                f"{opt.metrics.summary()}"
+            )
+    try:
+        checker()
+        safety = "ok"
+    except PropertyViolation as exc:
+        safety = f"violated ({type(exc).__name__})"
+    return {
+        "problem": problem,
+        "model": model,
+        "n": n,
+        "t": t,
+        "faults": scenario.fault_budget(),
+        "rounds": opt.rounds,
+        "messages": opt.messages,
+        "dropped": opt.metrics.dropped_messages,
+        "parity": "exact",
+        "safety": safety,
+    }
+
+
+def scenarios_spec(n: int = 60, seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="scenarios",
+        runner=scenario_unit,
+        grid={
+            "problem": ["consensus", "gossip"],
+            "model": ["omission", "partition", "churn", "mixed"],
+            "n": [n],
+            "seed": [seed],
+        },
+        base_seed=seed,
+    )
+
+
+def exp_scenarios(n: int = 60, seed: int = 1, jobs: int = 1) -> list[dict]:
+    """Fault-model degradation series: omission / partition / churn /
+    mixed scenarios on consensus and gossip, every row parity-certified
+    across sim-opt, sim-ref and net, with safety reported as data."""
+    return run_sweep(scenarios_spec(n, seed), jobs=jobs).rows()
 
 
 def net_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:

@@ -14,12 +14,16 @@ pluggable transports:
 A coordinator task (:class:`~repro.net.runtime.Synchronizer`) implements
 the paper's synchronous model as a barrier per round: every message sent
 in round ``r`` is delivered before any process observes round ``r``'s
-receive phase, crash faults are injected from the same
+receive phase, faults are injected from the same
 :class:`~repro.sim.adversary.CrashAdversary` schedules the simulator
-uses (including partial sends in the crash round), and the run produces
-the same :class:`~repro.sim.metrics.Metrics` -- the parity tests pin
-identical decisions, crash sets and message/bit totals against
-:class:`~repro.sim.engine.Engine` for the same seed and schedule.
+uses -- crashes with partial sends, and the extended
+:mod:`repro.scenarios` classes (per-link omission, partitions, churn
+with rejoin) -- and the run produces the same
+:class:`~repro.sim.metrics.Metrics` (including ``dropped_messages``):
+the parity tests pin identical decisions, crash sets and
+message/bit/drop totals against :class:`~repro.sim.engine.Engine` for
+the same schedule.  :mod:`repro.trace` recorders/checkers attach to the
+coordinator for record/replay across substrates.
 
 Entry points: :func:`~repro.net.runtime.run_protocol_net` executes a
 process list end-to-end in one OS process over either transport;

@@ -37,10 +37,26 @@ HELLO = struct.Struct(">i")
 
 
 def encode(obj: Any) -> bytes:
-    """Serialise one frame body."""
+    """Serialise one frame body.
+
+    The codec is round-agnostic: round numbers, phase tags and send
+    sequence numbers live *inside* the frame tuple
+    (:mod:`repro.net.runtime` defines the frame kinds), so the wire
+    format never changes when the round protocol grows.  Multicast
+    senders call this once per send group and fan the encoded bytes out
+    via :meth:`~repro.net.transport.Endpoint.send_encoded`, which is
+    what keeps a payload's pickling cost independent of its recipient
+    count.
+    """
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def decode(body: bytes) -> Any:
-    """Deserialise one frame body."""
+    """Deserialise one frame body.
+
+    Always produces a fresh object graph — even over the in-memory
+    transport a receiver gets an equal *copy*, never the sender's
+    instance — so payload mutation can never leak between nodes within
+    or across rounds.
+    """
     return pickle.loads(body)

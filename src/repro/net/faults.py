@@ -21,7 +21,7 @@ engine's validity checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 from repro.sim.adversary import CrashAdversary
 from repro.sim.process import ProtocolError
@@ -61,11 +61,25 @@ class RuntimeView:
 
 
 class NetFaultInjector:
-    """Applies a :class:`~repro.sim.adversary.CrashAdversary` per round."""
+    """Applies a :class:`~repro.sim.adversary.CrashAdversary` per round.
+
+    Wraps the adversary's full per-round surface — crash nominations,
+    churn rejoins and link masks — with the engine's validity checks, in
+    the same order the engine consults them at the top of each round:
+    :meth:`rejoins_for_round` (before the crash nomination, so adaptive
+    adversaries observe post-rejoin state), then
+    :meth:`crashes_for_round`, then :meth:`blocked_links` for the round's
+    send phase.
+    """
 
     def __init__(self, adversary: CrashAdversary, byzantine: frozenset[int]):
         self.adversary = adversary
         self.byzantine = byzantine
+        for pid in adversary.rejoin_pids():
+            if pid in byzantine:
+                raise ProtocolError(
+                    f"adversary scheduled churn on Byzantine node {pid}"
+                )
 
     def crashes_for_round(
         self, rnd: int, view: RuntimeView
@@ -79,6 +93,27 @@ class NetFaultInjector:
                     f"adversary attempted to crash Byzantine node {pid}"
                 )
         return crashing
+
+    def rejoins_for_round(self, rnd: int):
+        """Pids whose churn schedule rejoins them at ``rnd`` (the
+        coordinator reinstates only those currently crashed)."""
+        return self.adversary.rejoins_for_round(rnd)
+
+    def rejoin_pids(self) -> frozenset[int]:
+        """All churn pids; node tasks hosting them snapshot initial state."""
+        return self.adversary.rejoin_pids()
+
+    def next_rejoin(self, pid: int, rnd: int) -> Optional[int]:
+        """Earliest rejoin of ``pid`` after ``rnd``; a crashing node with
+        one pending keeps its connection open instead of exiting."""
+        return self.adversary.next_rejoin(pid, rnd)
+
+    def blocked_links(
+        self, rnd: int
+    ) -> Optional[Mapping[int, frozenset[int]]]:
+        """The round's link mask; each participant receives its own
+        blocked-destination set inside the ``START`` frame."""
+        return self.adversary.blocked_links(rnd)
 
     def next_event_round(self, rnd: int) -> Optional[int]:
         return self.adversary.next_event_round(rnd)

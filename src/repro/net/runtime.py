@@ -7,13 +7,23 @@ Every node is one asyncio task (:func:`run_node`) hosting an unmodified
 (:class:`Synchronizer`) implements the synchronous model of Section 2
 as a two-phase barrier per round:
 
+0. ``REJOIN(r)`` -- before opening the round, crashed nodes whose churn
+   schedule rejoins them at ``r`` are reinstated: the node task (which
+   kept its connection open awaiting exactly this) resets its process
+   to the pre-``on_start`` snapshot, runs ``on_start`` again and
+   reports ``REJOINED``; the coordinator restores it to the live set so
+   it participates in round ``r``'s send phase.
 1. ``START(r)`` -- the coordinator opens round ``r`` for every live
    node, attaching the partial-send budget ``keep`` for nodes the fault
-   injector crashes this round.  Each node runs its ``send(r)`` hook,
-   transmits one data frame per point-to-point message *directly to the
-   destination endpoint* (multicasts are expanded on the wire), counts
-   its own messages and payload bits, and reports ``SENT`` with its
-   per-destination counts.
+   injector crashes this round, the node's blocked-destination set for
+   link faults (omission/partition scenarios), whether a crashing node
+   should await a rejoin, and whether to report trace records.  Each
+   node runs its ``send(r)`` hook, normalises and truncates its sends
+   through the engine's own ``collect_sends`` + ``apply_link_filter``,
+   transmits one data frame per surviving point-to-point message
+   *directly to the destination endpoint* (multicasts are expanded on
+   the wire), counts its own messages, payload bits and dropped
+   messages, and reports ``SENT`` with its per-destination counts.
 2. ``DELIVER(r)`` -- once every live node has reported, the coordinator
    tells each surviving node how many round-``r`` frames to expect.
    The node collects exactly that many (data frames may already have
@@ -23,10 +33,14 @@ as a two-phase barrier per round:
 
 The barrier guarantees the paper's synchrony: no process observes round
 ``r + 1`` before every round-``r`` message is delivered.  Crash faults,
-fast-forward over quiescent stretches, termination, and the
-rounds/messages/bits accounting all mirror the simulator's reference
-loop statement by statement, which is what makes the sim/net parity
-tests exact rather than statistical.
+link faults, churn, fast-forward over quiescent stretches, termination,
+and the rounds/messages/bits/dropped accounting all mirror the
+simulator's reference loop statement by statement, which is what makes
+the sim/net parity tests exact rather than statistical.  When a trace
+recorder or checker is attached (:mod:`repro.trace`), nodes compute the
+structural digest of every payload next to the wire and ship the
+records inside their ``SENT`` reports, so the coordinator records or
+verifies the same events the engine would.
 
 Deployment shapes
 -----------------
@@ -40,15 +54,22 @@ Deployment shapes
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Mapping, Optional, Sequence
+import copy
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from repro.net.codec import encode
 from repro.net.faults import NetFaultInjector, NodeStatus, RuntimeView
 from repro.net.transport import Endpoint, MemoryHub, TCPHub, connect_tcp
 from repro.sim.adversary import CrashAdversary, NoFailures
-from repro.sim.engine import RunResult, check_pid_order, collect_sends
+from repro.sim.engine import (
+    RunResult,
+    apply_link_filter,
+    check_pid_order,
+    collect_sends,
+)
 from repro.sim.metrics import Metrics
 from repro.sim.process import Process, ProtocolError, payload_bits_cached
+from repro.trace import payload_digest
 
 __all__ = [
     "NetRuntimeError",
@@ -73,6 +94,8 @@ _DONE = "done"
 _STOP = "stop"
 _ERROR = "error"
 _DATA = "data"
+_REJOIN = "rejoin"
+_REJOINED = "rejoined"
 
 
 def _status_of(proc: Process) -> tuple[bool, bool, Any]:
@@ -82,17 +105,24 @@ def _status_of(proc: Process) -> tuple[bool, bool, Any]:
 # -- node side ---------------------------------------------------------------
 
 
-async def run_node(proc: Process, endpoint: Endpoint, coordinator: int) -> None:
-    """Host one process on one endpoint until it halts, crashes or is
-    stopped.
+async def run_node(
+    proc: Process, endpoint: Endpoint, coordinator: int, *, churn: bool = False
+) -> None:
+    """Host one process on one endpoint until it halts, crashes for good
+    or is stopped.
 
-    Protocol errors (invalid destinations, broken ``next_activity``
-    contracts, exceptions escaping the hooks) are reported to the
-    coordinator as ``ERROR`` frames so they surface in the driving
-    process even when this node lives in a remote worker.
+    ``churn`` marks a node with a scheduled rejoin
+    (:meth:`~repro.sim.adversary.CrashAdversary.rejoin_pids`): its
+    pre-``on_start`` state is snapshotted so a later ``REJOIN`` frame
+    can reset it, and on crashing it keeps the connection open awaiting
+    that frame instead of exiting.  Protocol errors (invalid
+    destinations, broken ``next_activity`` contracts, exceptions
+    escaping the hooks) are reported to the coordinator as ``ERROR``
+    frames so they surface in the driving process even when this node
+    lives in a remote worker.
     """
     try:
-        await _node_loop(proc, endpoint, coordinator)
+        await _node_loop(proc, endpoint, coordinator, churn)
     except asyncio.CancelledError:
         raise
     except Exception as exc:  # report, then end this node quietly
@@ -106,9 +136,39 @@ async def run_node(proc: Process, endpoint: Endpoint, coordinator: int) -> None:
         await endpoint.close()
 
 
-async def _node_loop(proc: Process, endpoint: Endpoint, coordinator: int) -> None:
+async def _await_rejoin(endpoint: Endpoint) -> bool:
+    """A crashed churn node's downtime: drain and discard traffic until
+    the coordinator rejoins (``True``) or stops (``False``) this node.
+
+    Data frames arriving here were addressed to a crashed node; they are
+    lost exactly as in the simulator (where crashed pids never consume
+    their inbox).  Per-sink FIFO ordering guarantees every such frame
+    precedes the ``REJOIN`` frame, so nothing from the downtime can leak
+    into the post-rejoin inbox.
+    """
+    while True:
+        _src, frame = await endpoint.recv()
+        kind = frame[0]
+        if kind == _DATA:
+            continue
+        if kind == _REJOIN:
+            return True
+        if kind == _STOP:
+            return False
+        raise NetRuntimeError(
+            f"crashed node awaiting rejoin received unexpected frame {kind!r}"
+        )
+
+
+async def _node_loop(
+    proc: Process, endpoint: Endpoint, coordinator: int, churn: bool
+) -> None:
     pid = proc.pid
     n = proc.n
+    # Churn nodes snapshot their pre-on_start state: a REJOIN restores
+    # it (fresh deep copy per rejoin) and runs on_start again -- the
+    # same reset the engine applies.
+    snapshot = copy.deepcopy(proc.__dict__) if churn else None
     proc.on_start()
     await endpoint.send(coordinator, (_READY, pid, *_status_of(proc)))
     if proc.halted:
@@ -128,14 +188,39 @@ async def _node_loop(proc: Process, endpoint: Endpoint, coordinator: int) -> Non
             _, rnd, seq, payload = frame
             buffers.setdefault(rnd, []).append((src, seq, payload))
         elif kind == _START:
-            _, rnd, crashing, keep = frame
+            _, rnd, crashing, keep, blocked, will_rejoin, record = frame
             bits_cache.clear()
             if crashing:
                 await _send_phase(
-                    proc, endpoint, coordinator, rnd, keep, bits_cache
+                    proc, endpoint, coordinator, rnd, keep, bits_cache,
+                    blocked, record,
                 )
-                return  # crashed: no further activity, not even receives
-            await _send_phase(proc, endpoint, coordinator, rnd, None, bits_cache)
+                if not will_rejoin:
+                    return  # crashed for good: no further activity
+                if snapshot is None:
+                    raise NetRuntimeError(
+                        f"node {pid} is scheduled to rejoin but was hosted "
+                        "without churn=True (pass the adversary's "
+                        "rejoin_pids() to host_nodes_tcp/run_node)"
+                    )
+                if not await _await_rejoin(endpoint):
+                    return  # run ended while this node was down
+                # State reset: everything buffered during the downtime
+                # is lost, the process restarts from its initial state.
+                buffers.clear()
+                proc.__dict__.clear()
+                proc.__dict__.update(copy.deepcopy(snapshot))
+                proc.on_start()
+                await endpoint.send(
+                    coordinator, (_REJOINED, pid, *_status_of(proc))
+                )
+                if proc.halted:
+                    return
+                continue
+            await _send_phase(
+                proc, endpoint, coordinator, rnd, None, bits_cache,
+                blocked, record,
+            )
             if proc.halted:
                 # Halted inside send(): the engine skips such a process
                 # from the receive phase onwards, and the coordinator
@@ -167,19 +252,33 @@ async def _send_phase(
     rnd: int,
     keep: Optional[int],
     bits_cache: dict,
+    blocked: tuple[int, ...] = (),
+    record: bool = False,
 ) -> None:
     """One node's send phase: normalise, validate and (for a crashing
     node) truncate the sends with the engine's own
-    :func:`repro.sim.engine.collect_sends` -- the single source of
-    partial-send semantics on both substrates -- then transmit one data
-    frame per point-to-point message, accumulate message/bit counts
-    locally and flush one ``SENT`` report."""
+    :func:`repro.sim.engine.collect_sends`, then remove link-blocked
+    destinations with :func:`repro.sim.engine.apply_link_filter` -- the
+    single sources of partial-send and omission semantics on both
+    substrates -- then transmit one data frame per surviving
+    point-to-point message, accumulate message/bit/dropped counts
+    locally (plus per-group trace records when ``record``) and flush one
+    ``SENT`` report."""
     pid = proc.pid
+    groups = collect_sends(proc, rnd, keep, proc.n)
+    dropped = 0
+    if blocked:
+        groups, dropped = apply_link_filter(groups, frozenset(blocked))
     msgs = 0
     bits = 0
     dest_counts: dict[int, int] = {}
-    for seq, (dsts, payload) in enumerate(collect_sends(proc, rnd, keep, proc.n)):
+    records: Optional[list] = [] if record else None
+    for seq, (dsts, payload) in enumerate(groups):
         bits_each = payload_bits_cached(payload, bits_cache)
+        if records is not None:
+            # Digest computed next to the wire, so the coordinator's
+            # trace records exactly what this node serialised.
+            records.append((tuple(dsts), bits_each, payload_digest(payload)))
         # One frame body per send group: ``seq`` is the group index
         # (receivers order by ``(src, seq)`` with a stable sort, so
         # same-group duplicates keep their on-wire FIFO order), which
@@ -192,7 +291,9 @@ async def _send_phase(
         msgs += len(dsts)
         bits += bits_each * len(dsts)
     await endpoint.send(
-        coordinator, (_SENT, rnd, pid, dest_counts, msgs, bits, *_status_of(proc))
+        coordinator,
+        (_SENT, rnd, pid, dest_counts, msgs, bits, dropped, records,
+         *_status_of(proc)),
     )
 
 
@@ -242,6 +343,7 @@ class Synchronizer:
         max_rounds: int = 100_000,
         fast_forward: bool = True,
         timeout: Optional[float] = 120.0,
+        recorder: Optional[Any] = None,
     ):
         self.n = n
         self.byzantine = frozenset(byzantine)
@@ -251,6 +353,10 @@ class Synchronizer:
         self.max_rounds = max_rounds
         self.fast_forward = fast_forward
         self.timeout = timeout
+        #: trace hook (:class:`repro.trace.TraceRecorder` / ``TraceChecker``);
+        #: when set, nodes are asked to ship per-group send records in
+        #: their ``SENT`` reports and every fault event is forwarded
+        self.recorder = recorder
         self.metrics = Metrics()
         self.crashed: set[int] = set()
         self.statuses = [NodeStatus(pid) for pid in range(n)]
@@ -335,13 +441,48 @@ class Synchronizer:
         status.decided = decided
         status.decision = decision
 
+    async def _rejoin_phase(self, endpoint: Endpoint, rnd: int) -> list[int]:
+        """Reinstate crashed churn nodes scheduled to rejoin at ``rnd``.
+
+        Mirrors the engine's rejoin phase: only currently-crashed pids
+        rejoin; each gets a ``REJOIN`` frame, resets to its snapshot,
+        runs ``on_start`` and reports ``REJOINED`` with fresh status
+        before the round opens (so no round-``rnd`` data frame can race
+        ahead of the reset).  Returns the sorted reinstated pids.
+        """
+        scheduled = self.injector.rejoins_for_round(rnd)
+        if not scheduled:
+            return []
+        rejoining = sorted(pid for pid in scheduled if pid in self.crashed)
+        for pid in rejoining:
+            await endpoint.send(pid, (_REJOIN, rnd))
+        pending = set(rejoining)
+        while pending:
+            frame = await self._recv(
+                endpoint,
+                f"rejoin phase of round {rnd}, missing pids {sorted(pending)}",
+            )
+            if frame[0] != _REJOINED:
+                raise NetRuntimeError(f"expected rejoined, got {frame[0]!r}")
+            _, pid, halted, decided, decision = frame
+            pending.discard(pid)
+            self.crashed.discard(pid)
+            self._update(pid, halted, decided, decision)
+            self.statuses[pid].wake = None
+        return rejoining
+
     async def _round_loop(self, endpoint: Endpoint) -> tuple[bool, int]:
         rnd = 0
         completed = False
         last_active_round = -1
         hit_max = True
+        record = self.recorder is not None
         while rnd < self.max_rounds:
+            rejoining = await self._rejoin_phase(endpoint, rnd)
             crashing = self.injector.crashes_for_round(rnd, self.view)
+            blocked = self.injector.blocked_links(rnd)
+            if record:
+                self.recorder.round_events(rnd, crashing, rejoining, blocked)
 
             # Send phase: open the round for every live node.
             participants = [
@@ -350,8 +491,19 @@ class Synchronizer:
                 if pid not in self.crashed and not self.statuses[pid].halted
             ]
             for pid in participants:
+                crashes_now = pid in crashing
+                mask = ()
+                if blocked:
+                    dsts = blocked.get(pid)
+                    if dsts:
+                        mask = tuple(sorted(dsts))
+                will_rejoin = (
+                    crashes_now and self.injector.next_rejoin(pid, rnd) is not None
+                )
                 await endpoint.send(
-                    pid, (_START, rnd, pid in crashing, crashing.get(pid))
+                    pid,
+                    (_START, rnd, crashes_now, crashing.get(pid), mask,
+                     will_rejoin, record),
                 )
             expected = [0] * self.n
             delivered_any = False
@@ -363,7 +515,8 @@ class Synchronizer:
                 )
                 if frame[0] != _SENT:
                     raise NetRuntimeError(f"expected sent, got {frame[0]!r}")
-                _, r, pid, dest_counts, msgs, bits, halted, decided, decision = frame
+                (_, r, pid, dest_counts, msgs, bits, dropped, records,
+                 halted, decided, decision) = frame
                 pending.discard(pid)
                 self._update(pid, halted, decided, decision)
                 for dst, count in dest_counts.items():
@@ -373,6 +526,16 @@ class Synchronizer:
                     self.metrics.record_send(
                         pid, msgs, bits, rnd, pid not in self.byzantine
                     )
+                if dropped:
+                    if pid not in self.byzantine:
+                        self.metrics.record_drop(dropped)
+                    if record:
+                        self.recorder.record_drops(rnd, pid, dropped)
+                if record and records:
+                    for dsts, bits_each, digest in records:
+                        self.recorder.record_send_digest(
+                            rnd, pid, dsts, bits_each, digest
+                        )
             for pid in crashing:
                 if pid in participants:
                     self.crashed.add(pid)
@@ -439,11 +602,12 @@ class Synchronizer:
 
     async def _stop_survivors(self, endpoint: Endpoint) -> None:
         # Halted nodes have already detached (both hubs drop frames to
-        # detached addresses), so STOP every non-crashed pid rather than
-        # guess which ones are still listening.
+        # detached addresses), and so have permanently-crashed ones --
+        # but a crashed *churn* node awaiting a rejoin that will never
+        # come is still listening.  STOP every pid rather than guess
+        # which ones remain attached.
         for pid in range(self.n):
-            if pid not in self.crashed:
-                await endpoint.send(pid, (_STOP,))
+            await endpoint.send(pid, (_STOP,))
 
 
 # -- runners -----------------------------------------------------------------
@@ -459,6 +623,7 @@ async def _run_async(
     host: str,
     port: int,
     timeout: Optional[float],
+    recorder: Optional[Any] = None,
 ) -> RunResult:
     n = len(processes)
     hub: Any
@@ -480,9 +645,17 @@ async def _run_async(
         max_rounds=max_rounds,
         fast_forward=fast_forward,
         timeout=timeout,
+        recorder=recorder,
+    )
+    churn_pids = (
+        adversary.rejoin_pids() if adversary is not None else frozenset()
     )
     node_tasks = [
-        asyncio.create_task(run_node(proc, endpoints[proc.pid], n))
+        asyncio.create_task(
+            run_node(
+                proc, endpoints[proc.pid], n, churn=proc.pid in churn_pids
+            )
+        )
         for proc in processes
     ]
     try:
@@ -511,14 +684,18 @@ def run_protocol_net(
     host: str = "127.0.0.1",
     port: int = 0,
     timeout: Optional[float] = 120.0,
+    recorder: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``processes`` on the net runtime in this OS process.
 
     The drop-in counterpart of ``Engine(processes, adversary).run()``:
-    same process objects, same adversary schedules, same
+    same process objects, same adversary schedules (including the
+    extended omission/partition/churn surface of
+    :mod:`repro.scenarios`), same
     :class:`~repro.sim.engine.RunResult` (with ``result.processes``
     holding the locally hosted instances).  ``transport`` selects the
-    in-memory hub or a loopback TCP hub (real sockets, one OS process).
+    in-memory hub or a loopback TCP hub (real sockets, one OS process);
+    ``recorder`` attaches a :mod:`repro.trace` recorder/checker.
     """
     check_pid_order(processes)
     return asyncio.run(
@@ -532,6 +709,7 @@ def run_protocol_net(
             host,
             port,
             timeout,
+            recorder,
         )
     )
 
@@ -547,6 +725,7 @@ async def serve_tcp(
     port: int = 0,
     hub: Optional[TCPHub] = None,
     timeout: Optional[float] = 120.0,
+    recorder: Optional[Any] = None,
 ) -> RunResult:
     """Run the hub and coordinator for an ``n``-node TCP deployment.
 
@@ -570,6 +749,7 @@ async def serve_tcp(
             max_rounds=max_rounds,
             fast_forward=fast_forward,
             timeout=timeout,
+            recorder=recorder,
         )
         return await sync.run(endpoint)
     finally:
@@ -583,26 +763,32 @@ async def host_nodes_tcp(
     port: int,
     *,
     deadline: float = 30.0,
+    churn_pids: Iterable[int] = (),
 ) -> None:
     """Host a shard of nodes in this OS process, dialing a remote hub.
 
     ``processes`` maps pid to process (or is a sequence of processes
     whose ``pid`` attributes name their addresses); each node gets its
-    own endpoint connection.  Returns when every hosted node has halted,
-    crashed or been stopped by the coordinator.
+    own endpoint connection.  ``churn_pids`` names the pids with a
+    scheduled crash-and-rejoin (the coordinator's adversary's
+    ``rejoin_pids()``) so those nodes snapshot their initial state and
+    survive their crash leg; workers of a churn scenario must pass it.
+    Returns when every hosted node has halted, crashed for good or been
+    stopped by the coordinator.
     """
     procs = (
         list(processes.values())
         if isinstance(processes, Mapping)
         else list(processes)
     )
+    churn = frozenset(churn_pids)
     endpoints = [
         await connect_tcp(host, port, proc.pid, deadline=deadline)
         for proc in procs
     ]
     await asyncio.gather(
         *(
-            run_node(proc, endpoint, proc.n)
+            run_node(proc, endpoint, proc.n, churn=proc.pid in churn)
             for proc, endpoint in zip(procs, endpoints)
         )
     )

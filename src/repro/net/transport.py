@@ -36,11 +36,23 @@ __all__ = [
 
 
 class Endpoint:
-    """Interface every transport endpoint implements."""
+    """Interface every transport endpoint implements.
+
+    Ordering contract: frames from one sender to one destination are
+    delivered FIFO, and a destination's frames from *all* senders pass
+    through one sink queue in routing order.  The round runtime builds
+    on both properties — a node's ``SENT`` report can never overtake
+    its own data frames, and a crashed churn node can discard its
+    entire downtime backlog safely because every stale frame is queued
+    before the coordinator's ``REJOIN``.
+    """
 
     address: int
 
     async def send(self, dst: int, obj: Any) -> None:
+        """Encode and send one frame to ``dst`` (fire-and-forget:
+        frames to detached or never-attached addresses are buffered or
+        dropped by the hub, mirroring the simulator's delivery rules)."""
         await self.send_encoded(dst, encode(obj))
 
     async def send_encoded(self, dst: int, body: bytes) -> None:
@@ -52,9 +64,17 @@ class Endpoint:
         raise NotImplementedError
 
     async def recv(self) -> tuple[int, Any]:
+        """Await the next inbound frame as ``(source address, body)``.
+
+        Blocks indefinitely; the round runtime guarantees liveness by
+        always answering a node's report with a next-phase frame
+        (``DELIVER``, ``START``, ``REJOIN`` or ``STOP``).
+        """
         raise NotImplementedError
 
     async def close(self) -> None:
+        """Detach from the hub; subsequent frames to this address are
+        dropped (a crashed or halted node receives nothing)."""
         raise NotImplementedError
 
 
@@ -103,12 +123,18 @@ class MemoryHub(_Router):
     """Routes encoded frames between same-process endpoints via queues."""
 
     def endpoint(self, address: int) -> "MemoryEndpoint":
+        """Attach ``address`` and return its endpoint (flushing any
+        frames buffered for it before it attached)."""
         return MemoryEndpoint(self, address, self._attach(address))
 
     def route(self, src: int, dst: int, body: bytes) -> None:
+        """Forward one frame; synchronous, so routing order *is* send
+        order -- the FIFO guarantee of :class:`Endpoint` for free."""
         self._route(src, dst, body)
 
     def detach(self, address: int) -> None:
+        """Drop ``address`` from the routing table; later frames to it
+        are discarded (crashed/halted node semantics)."""
         self._detach(address)
 
 
@@ -162,10 +188,16 @@ class TCPHub(_Router):
         self._writers: dict[int, asyncio.StreamWriter] = {}
 
     async def start(self) -> None:
+        """Bind the listening socket; ``self.port`` then carries the
+        actual port (useful when constructed with an ephemeral 0)."""
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def close(self) -> None:
+        """Tear the hub down: stop listening, cancel the per-connection
+        pump tasks, and force-close established connections so remote
+        endpoints observe EOF instead of blocking in ``recv`` forever
+        on an error path."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

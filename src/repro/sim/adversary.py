@@ -11,12 +11,22 @@ Byzantine nodes (Section 7) are modelled by swapping the node's process
 for an arbitrary behaviour; see :class:`ByzantineProcess`.  They are
 never "crashed" by a :class:`CrashAdversary` -- the fault budget is
 spent by the caller when selecting the Byzantine set.
+
+Beyond the paper's model, :class:`CrashAdversary` also declares the
+query surface for the *extended* fault classes of
+:mod:`repro.scenarios` -- per-link message omission, transient
+partitions (both via :meth:`CrashAdversary.blocked_links`) and churn
+(crash + rejoin with state reset, via
+:meth:`CrashAdversary.rejoins_for_round`).  The defaults make every
+existing adversary a pure-crash adversary, so the engine and the net
+runtime can consult the extended surface unconditionally; see
+``docs/faults.md`` for the fault-model taxonomy.
 """
 
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Iterable, NamedTuple, Optional
+from typing import TYPE_CHECKING, Iterable, Mapping, NamedTuple, Optional
 
 from repro.sim.process import Process
 
@@ -61,16 +71,75 @@ class CrashAdversary:
         return {}
 
     def next_event_round(self, rnd: int) -> Optional[int]:
-        """Earliest round after ``rnd`` with a scheduled crash, if known.
+        """Earliest round after ``rnd`` with a scheduled fault event
+        (crash *or* rejoin), if known.
 
-        Adaptive adversaries that cannot pre-commit should return
-        ``rnd + 1`` to disable fast-forwarding entirely.
+        Consulted by the quiescence fast-forward of both substrates so a
+        jump over empty rounds never skips an event.  Link faults
+        (:meth:`blocked_links`) need not be reported: they only act on
+        messages, and a round in which messages are sent is never
+        skipped.  Adaptive adversaries that cannot pre-commit should
+        return ``rnd + 1`` to disable fast-forwarding entirely.
         """
         return None
 
     def total_budget(self) -> int:
         """Number of crashes this adversary may inject (for sanity checks)."""
         return 0
+
+    # -- extended fault classes (repro.scenarios) ------------------------
+    #
+    # The defaults describe a pure-crash adversary; ScenarioAdversary and
+    # TraceAdversary override them.  All four hooks are consulted at the
+    # *top* of each round, before the send phase:
+    #
+    #   1. rejoins_for_round -- crashed nodes scheduled to rejoin come
+    #      back (state reset to their pre-``on_start`` snapshot) and
+    #      participate in this round's send phase;
+    #   2. crashes_for_round -- the classical crash nomination;
+    #   3. blocked_links     -- the per-link delivery mask applied to
+    #      this round's (possibly ``keep``-truncated) sends.
+
+    def blocked_links(self, rnd: int) -> Optional[Mapping[int, frozenset[int]]]:
+        """``src -> blocked destinations`` for round ``rnd``, or ``None``.
+
+        A message from ``src`` to a blocked destination is *sent but not
+        delivered*: it vanishes in transit, is excluded from the
+        message/bit totals and tallied in
+        :attr:`~repro.sim.metrics.Metrics.dropped_messages`.  ``None``
+        (the default, and the common round even under scenarios) lets
+        the engine's optimized loop keep its filter-free fast path.
+        """
+        return None
+
+    def rejoins_for_round(self, rnd: int) -> Iterable[int]:
+        """Pids scheduled to rejoin (churn) at round ``rnd``.
+
+        A rejoin applies only to a node that is actually crashed at that
+        round; the substrates silently skip pids that halted or never
+        crashed.  The rejoined node's state is reset to the snapshot
+        taken before ``on_start`` and ``on_start`` runs again, after
+        which it participates in round ``rnd``'s send phase.
+        """
+        return ()
+
+    def rejoin_pids(self) -> frozenset[int]:
+        """All pids with a scheduled rejoin, known before the run starts.
+
+        The substrates snapshot exactly these processes' initial state
+        (a deep copy taken before ``on_start``), so churn costs nothing
+        for pure-crash adversaries.
+        """
+        return frozenset()
+
+    def next_rejoin(self, pid: int, rnd: int) -> Optional[int]:
+        """Earliest round after ``rnd`` at which ``pid`` rejoins, if any.
+
+        The net runtime's coordinator uses this to tell a crashing node
+        task whether to keep its connection open and await a rejoin
+        instead of exiting.
+        """
+        return None
 
 
 class NoFailures(CrashAdversary):

@@ -4,11 +4,17 @@ Round structure
 ---------------
 Each round ``r`` consists of:
 
-1. **crash phase** -- the adversary nominates nodes crashing at ``r``;
-2. **send phase** -- every operational, non-halted process is asked for
+1. **rejoin phase** -- crashed nodes whose churn schedule rejoins them
+   at ``r`` are reinstated with reset state (see
+   :meth:`~repro.sim.adversary.CrashAdversary.rejoins_for_round`);
+2. **crash phase** -- the adversary nominates nodes crashing at ``r``;
+3. **send phase** -- every operational, non-halted process is asked for
    its outgoing messages; a node crashing this round delivers only the
    prefix of its sends allowed by its :class:`~repro.sim.adversary.CrashSpec`;
-3. **receive phase** -- all surviving messages are delivered ("during a
+   a link filter (:meth:`~repro.sim.adversary.CrashAdversary.blocked_links`,
+   omission/partition scenarios) then removes blocked messages in
+   transit, tallying them as ``dropped_messages``;
+4. **receive phase** -- all surviving messages are delivered ("during a
    round, all messages sent to a node in this round get delivered") and
    every operational, non-halted process consumes its (possibly empty)
    inbox.
@@ -50,6 +56,7 @@ pins this for every protocol family.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
@@ -63,7 +70,13 @@ from repro.sim.process import (
     payload_bits_cached,
 )
 
-__all__ = ["Engine", "RunResult", "check_pid_order", "collect_sends"]
+__all__ = [
+    "Engine",
+    "RunResult",
+    "apply_link_filter",
+    "check_pid_order",
+    "collect_sends",
+]
 
 
 def check_pid_order(processes: Sequence[Process]) -> None:
@@ -112,6 +125,30 @@ def collect_sends(
     return groups
 
 
+def apply_link_filter(
+    groups: list[tuple[tuple[int, ...], Any]], blocked: frozenset[int]
+) -> tuple[list[tuple[tuple[int, ...], Any]], int]:
+    """Remove ``blocked`` destinations from normalised send groups.
+
+    Returns ``(surviving_groups, dropped_count)``.  Applied *after* the
+    crash-round ``keep`` truncation of :func:`collect_sends` -- the
+    partial-send budget is spent on the messages the node attempted, and
+    the link fault then removes some of the attempted messages in
+    transit.  Shared by both :class:`Engine` round loops and the
+    :mod:`repro.net` node send phase, so every substrate drops exactly
+    the same point-to-point messages for a given
+    :meth:`~repro.sim.adversary.CrashAdversary.blocked_links` mask.
+    """
+    kept: list[tuple[tuple[int, ...], Any]] = []
+    dropped = 0
+    for dsts, payload in groups:
+        surviving = tuple(dst for dst in dsts if dst not in blocked)
+        dropped += len(dsts) - len(surviving)
+        if surviving:
+            kept.append((surviving, payload))
+    return kept, dropped
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated execution."""
@@ -124,6 +161,9 @@ class RunResult:
     #: pid -> decision for processes that decided (crashed nodes that
     #: decided before crashing are included; callers filter as needed)
     decisions: dict[int, Any] = field(default_factory=dict)
+    #: the recorded :class:`repro.trace.Trace`, attached by the
+    #: ``repro.api`` entry points when ``record_trace`` was requested
+    trace: Any = None
 
     @property
     def rounds(self) -> int:
@@ -175,6 +215,14 @@ class Engine:
         Select the batched hot-path round loop (default) or the
         straight-line reference loop; both are observably identical
         (see the module docstring).
+    recorder:
+        Optional trace hook (:class:`repro.trace.TraceRecorder` or
+        :class:`repro.trace.TraceChecker`, or any object with the same
+        ``round_events`` / ``record_send_group`` / ``record_drops``
+        methods).  When set, the optimized loop routes every sender
+        through the shared :func:`collect_sends` slow path (the fast
+        path stays branch-free when no recorder is attached); metrics
+        are unaffected either way.
     """
 
     def __init__(
@@ -186,6 +234,7 @@ class Engine:
         max_rounds: int = 100_000,
         fast_forward: bool = True,
         optimized: bool = True,
+        recorder: Optional[Any] = None,
     ):
         check_pid_order(processes)
         self.processes = list(processes)
@@ -195,9 +244,13 @@ class Engine:
         self.max_rounds = max_rounds
         self.fast_forward = fast_forward
         self.optimized = optimized
+        self.recorder = recorder
         self.metrics = Metrics()
         self.crashed: set[int] = set()
         self.round: int = 0
+        #: pid -> deep copy of the process ``__dict__`` before
+        #: ``on_start``; taken only for pids with a scheduled rejoin
+        self._snapshots: dict[int, dict] = {}
 
     # -- queries used by adaptive adversaries ---------------------------
 
@@ -218,6 +271,14 @@ class Engine:
         """
         if observer is not None:
             self.fast_forward = False
+        for pid in self.adversary.rejoin_pids():
+            if not 0 <= pid < self.n:
+                raise ProtocolError(f"rejoin scheduled for invalid pid {pid}")
+            if pid in self.byzantine:
+                raise ProtocolError(
+                    f"adversary scheduled churn on Byzantine node {pid}"
+                )
+            self._snapshots[pid] = copy.deepcopy(self.processes[pid].__dict__)
         for proc in self.processes:
             proc.on_start()
 
@@ -255,11 +316,17 @@ class Engine:
         Returns ``(completed, last_active_round)``; on non-completion the
         caller applies the everyone-crashed fixup shared by both paths.
         """
+        recorder = self.recorder
         rnd = 0
         completed = False
         last_active_round = -1
         while rnd < self.max_rounds:
             self.round = rnd
+
+            # Rejoin phase (churn): crashed nodes scheduled to come back
+            # are reset and reinstated before the crash nomination, so
+            # they participate in this round's send phase.
+            rejoining = self._apply_rejoins(rnd)
 
             # Crash phase: nodes crashing at this round.
             crashing = self.adversary.crashes_for_round(rnd, self)
@@ -268,6 +335,9 @@ class Engine:
                     raise ProtocolError(
                         f"adversary attempted to crash Byzantine node {pid}"
                     )
+            blocked = self.adversary.blocked_links(rnd)
+            if recorder is not None:
+                recorder.round_events(rnd, crashing, rejoining, blocked)
 
             # Send phase.
             inboxes: dict[int, list[tuple[int, Any]]] = {}
@@ -283,6 +353,15 @@ class Engine:
                 sent = self._collect_sends(proc, rnd, keep)
                 if crashes_now:
                     self.crashed.add(pid)
+                if blocked is not None:
+                    mask = blocked.get(pid)
+                    if mask:
+                        sent, dropped = apply_link_filter(sent, mask)
+                        if dropped:
+                            if pid not in self.byzantine:
+                                self.metrics.record_drop(dropped)
+                            if recorder is not None:
+                                recorder.record_drops(rnd, pid, dropped)
                 if not sent:
                     continue
                 counted = pid not in self.byzantine
@@ -291,6 +370,10 @@ class Engine:
                     self.metrics.record_send(
                         pid, len(dsts), bits_each * len(dsts), rnd, counted
                     )
+                    if recorder is not None:
+                        recorder.record_send_group(
+                            rnd, pid, dsts, bits_each, payload
+                        )
                     for dst in dsts:
                         inboxes.setdefault(dst, []).append((pid, payload))
                         delivered_any = True
@@ -327,6 +410,7 @@ class Engine:
         metrics = self.metrics
         byzantine = self.byzantine
         crashed = self.crashed
+        recorder = self.recorder
         # One append buffer per destination (indexed by pid, replacing
         # the reference path's dict+setdefault per message).  A buffer
         # that received messages is handed to its consumer and then
@@ -347,6 +431,15 @@ class Engine:
         while rnd < self.max_rounds:
             self.round = rnd
 
+            rejoining = self._apply_rejoins(rnd)
+            if rejoining:
+                # Rejoined pids must re-enter the active walk this round.
+                active = [
+                    p
+                    for p in self.processes
+                    if p.pid not in crashed and not p.halted
+                ]
+
             crashing = self.adversary.crashes_for_round(rnd, self)
             membership_dirty = bool(crashing)
             if crashing:
@@ -355,8 +448,15 @@ class Engine:
                         raise ProtocolError(
                             f"adversary attempted to crash Byzantine node {pid}"
                         )
+            blocked = self.adversary.blocked_links(rnd)
+            if recorder is not None:
+                recorder.round_events(rnd, crashing, rejoining, blocked)
 
-            # Send phase.
+            # Send phase.  A sender takes the collect_sends slow path
+            # when it crashes this round, when a link filter is active,
+            # or when a trace recorder is attached; the common
+            # crash-only case keeps the batched fast path below.
+            slow_round = blocked is not None or recorder is not None
             bits_cache.clear()
             touched: list[int] = []
             delivered_any = False
@@ -367,10 +467,21 @@ class Engine:
                     # during on_start); skip, mirroring the reference.
                     membership_dirty = True
                     continue
-                if crashing and pid in crashing:
-                    # Crash-round partial sends take the slow path.
-                    groups = self._collect_sends(proc, rnd, crashing[pid])
-                    crashed.add(pid)
+                if slow_round or (crashing and pid in crashing):
+                    crashes_now = bool(crashing) and pid in crashing
+                    keep = crashing[pid] if crashes_now else None
+                    groups = self._collect_sends(proc, rnd, keep)
+                    if crashes_now:
+                        crashed.add(pid)
+                    if blocked is not None:
+                        mask = blocked.get(pid)
+                        if mask:
+                            groups, dropped = apply_link_filter(groups, mask)
+                            if dropped:
+                                if pid not in byzantine:
+                                    metrics.record_drop(dropped)
+                                if recorder is not None:
+                                    recorder.record_drops(rnd, pid, dropped)
                     if not groups:
                         continue
                     counted = pid not in byzantine
@@ -379,6 +490,10 @@ class Engine:
                         metrics.record_send(
                             pid, len(dsts), bits_each * len(dsts), rnd, counted
                         )
+                        if recorder is not None:
+                            recorder.record_send_group(
+                                rnd, pid, dsts, bits_each, payload
+                            )
                         envelope = (pid, payload)
                         for dst in dsts:
                             box = inboxes[dst]
@@ -475,6 +590,33 @@ class Engine:
         return completed, last_active_round
 
     # -- internals --------------------------------------------------------
+
+    def _apply_rejoins(self, rnd: int) -> list[int]:
+        """Reinstate crashed nodes whose rejoin is scheduled at ``rnd``.
+
+        State reset semantics: the process ``__dict__`` is restored from
+        a fresh deep copy of its pre-``on_start`` snapshot (so a node can
+        crash and rejoin more than once) and ``on_start`` runs again.
+        Pids that are not currently crashed (halted, or never crashed)
+        are skipped.  Returns the sorted list of reinstated pids.
+        """
+        scheduled = self.adversary.rejoins_for_round(rnd)
+        if not scheduled:
+            return []
+        rejoining = sorted(pid for pid in scheduled if pid in self.crashed)
+        for pid in rejoining:
+            snapshot = self._snapshots.get(pid)
+            if snapshot is None:
+                raise ProtocolError(
+                    f"rejoin of pid {pid} at round {rnd} was not announced "
+                    "via rejoin_pids(), so no snapshot was taken"
+                )
+            proc = self.processes[pid]
+            proc.__dict__.clear()
+            proc.__dict__.update(copy.deepcopy(snapshot))
+            self.crashed.discard(pid)
+            proc.on_start()
+        return rejoining
 
     def _collect_sends(
         self, proc: Process, rnd: int, keep: Optional[int]

@@ -43,6 +43,10 @@ class Metrics:
     #: messages from faulty (Byzantine) nodes; tracked but excluded from
     #: ``messages``/``bits``
     faulty_messages: int = 0
+    #: messages removed in transit by link faults (omission schedules,
+    #: partition masks; see :mod:`repro.scenarios`); excluded from
+    #: ``messages``/``bits``, which count delivered traffic only
+    dropped_messages: int = 0
 
     def record_send(
         self, src: int, count: int, bits: int, rnd: int, counted: bool = True
@@ -61,6 +65,17 @@ class Metrics:
         self.per_node_bits[src] += bits
         self.per_round_messages[rnd] += count
 
+    def record_drop(self, count: int) -> None:
+        """Record ``count`` messages a link fault removed in transit.
+
+        Dropped messages were *sent* (the process attempted them) but
+        never delivered; they appear in no per-node or per-round tally
+        because the headline measures count delivered traffic only.
+        Byzantine senders' drops are not recorded, mirroring how their
+        sends are excluded from :meth:`record_send`.
+        """
+        self.dropped_messages += count
+
     @property
     def max_node_messages(self) -> int:
         """Largest per-node message count (load balance indicator)."""
@@ -76,4 +91,5 @@ class Metrics:
             "bits": self.bits,
             "max_node_messages": self.max_node_messages,
             "faulty_messages": self.faulty_messages,
+            "dropped_messages": self.dropped_messages,
         }

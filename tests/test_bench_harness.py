@@ -92,6 +92,7 @@ class TestSeries:
             "e13",
             "baselines",
             "net",
+            "scenarios",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,56 @@
+"""Documentation cannot rot: handbook doctests, link integrity, and
+README scenario-gallery completeness are part of the test suite."""
+
+import doctest
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_links  # noqa: E402  (tools/ is not a package)
+
+
+def test_faults_handbook_doctests():
+    """Every snippet in docs/faults.md executes and prints what it
+    claims (the CI docs job runs the same file via --doctest-glob)."""
+    results = doctest.testfile(
+        str(ROOT / "docs" / "faults.md"),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 10, "handbook lost its runnable examples"
+    assert results.failed == 0
+
+
+def test_markdown_links_resolve():
+    problems = []
+    for path in check_links.collect_markdown():
+        problems.extend(check_links.check_file(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_readme_gallery_lists_every_example():
+    """The README 'Scenario gallery' table must name every script in
+    examples/ (and nothing that does not exist — covered by the link
+    checker above)."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    examples = sorted(p.name for p in (ROOT / "examples").glob("*.py"))
+    assert examples, "examples/ directory is empty?"
+    missing = [name for name in examples if name not in readme]
+    assert not missing, f"README gallery is missing {missing}"
+
+
+def test_readme_gallery_rows_are_complete():
+    """Each gallery row carries a paper reference and a fault model."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    match = re.search(r"## Scenario gallery\n(.*?)(\n## |\Z)", readme, re.DOTALL)
+    assert match, "README lost its '## Scenario gallery' section"
+    section = match.group(1)
+    for name in sorted(p.name for p in (ROOT / "examples").glob("*.py")):
+        row = next(
+            (line for line in section.splitlines() if name in line), None
+        )
+        assert row is not None, f"{name} missing from the gallery table"
+        assert row.count("|") >= 4, f"gallery row for {name} lost its columns"

