@@ -25,6 +25,8 @@ Layers:
 * :mod:`repro.scenarios` -- declarative omission/partition/churn fault
   scenarios (see ``docs/faults.md``);
 * :mod:`repro.trace` -- deterministic record/replay of executions;
+* :mod:`repro.check` -- differential fuzzing with paper-bound oracles
+  and scenario shrinking (``python -m repro.check``);
 * :mod:`repro.bench` -- the experiment harness behind EXPERIMENTS.md.
 """
 
@@ -34,6 +36,7 @@ from repro.api import (
     run_checkpointing,
     run_consensus,
     run_gossip,
+    run_recipe,
     run_scv,
 )
 from repro.core.params import ProtocolParams
@@ -69,6 +72,7 @@ __all__ = [
     "run_checkpointing",
     "run_consensus",
     "run_gossip",
+    "run_recipe",
     "run_scv",
     "scenario_schedule",
 ]

@@ -84,6 +84,7 @@ __all__ = [
     "build_gossip_processes",
     "build_scv_processes",
     "rebuild_trace_processes",
+    "run_recipe",
     "run_aea",
     "run_ab_consensus",
     "run_checkpointing",
@@ -724,6 +725,71 @@ def rebuild_trace_processes(
         )
         return processes, frozenset(recipe.get("byzantine", ()))
     raise ValueError(f"cannot rebuild processes for protocol {name!r}")
+
+
+def run_recipe(protocol: dict, **execution) -> RunResult:
+    """Execute a protocol rebuild recipe through its ``run_*`` entry point.
+
+    ``protocol`` is the same JSON-safe recipe dict the ``run_*`` helpers
+    record into traces (and :func:`rebuild_trace_processes` consumes) --
+    protocol ``name`` plus its instance arguments.  ``execution``
+    forwards the uniform execution parameters (``backend=``,
+    ``scenario=``, ``crashes=``, ``record_trace=``, ``max_rounds=``,
+    ...), so one recipe can be re-run under different fault schedules
+    and substrates.  This is the dispatch surface :mod:`repro.check`
+    fuzzes and shrinks through: a fuzz configuration is exactly
+    ``(recipe, scenario, backends)``.
+
+    >>> result = run_recipe(
+    ...     {"name": "consensus", "inputs": [0, 1] * 10, "t": 3},
+    ...     crashes=None,
+    ... )
+    >>> sorted(set(result.correct_decisions().values()))
+    [1]
+    """
+    recipe = dict(protocol)
+    name = recipe.pop("name", None)
+    overlay_seed = recipe.get("overlay_seed", 0)
+    if name == "consensus":
+        return run_consensus(
+            recipe["inputs"],
+            recipe["t"],
+            algorithm=recipe.get("algorithm", "auto"),
+            overlay_seed=overlay_seed,
+            **execution,
+        )
+    if name == "aea":
+        return run_aea(
+            recipe["inputs"], recipe["t"], overlay_seed=overlay_seed, **execution
+        )
+    if name == "scv":
+        return run_scv(
+            recipe["n"],
+            recipe["t"],
+            recipe["holders"],
+            recipe.get("common_value", 1),
+            overlay_seed=overlay_seed,
+            **execution,
+        )
+    if name == "gossip":
+        return run_gossip(
+            recipe["rumors"], recipe["t"], overlay_seed=overlay_seed, **execution
+        )
+    if name == "checkpointing":
+        return run_checkpointing(
+            recipe["n"], recipe["t"], overlay_seed=overlay_seed, **execution
+        )
+    if name == "ab_consensus":
+        execution.pop("crashes", None)  # ab-consensus has no crash schedule
+        return run_ab_consensus(
+            recipe["inputs"],
+            recipe["t"],
+            byzantine=recipe.get("byzantine", ()),
+            behaviour=recipe.get("behaviour", "equivocate"),
+            overlay_seed=overlay_seed,
+            **execution,
+        )
+    raise ValueError(f"cannot run protocol recipe {name!r}")
 
 
 _EXECUTION_DOC = """

@@ -52,6 +52,10 @@ EXPERIMENTS = {
         series.scenarios_spec,
         "Fault scenarios: omission / partition / churn degradation",
     ),
+    "fuzz": (
+        series.fuzz_spec,
+        "Differential fuzz: backend parity + safety and paper-bound oracles",
+    ),
 }
 
 

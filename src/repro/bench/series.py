@@ -46,6 +46,8 @@ from repro.baselines import (
 from repro.baselines.ring_gossip import RingGossipProcess
 from repro.bench.sweep import SweepSpec, run_sweep
 from repro.bench.workloads import byzantine_sample, input_vector, rumor_vector, table1_fault_bound
+from repro.check.driver import build_fuzz_spec
+from repro.check.oracles import check_parity
 from repro.core.params import ProtocolParams
 from repro.lowerbounds import divergence_series, isolation_report
 from repro.sim import Engine, crash_schedule
@@ -57,6 +59,7 @@ from repro.sim.singleport import SinglePortEngine
 
 __all__ = [
     "exp_baselines",
+    "exp_fuzz",
     "exp_e5_aea",
     "exp_e6_scv",
     "exp_e7_consensus_few",
@@ -656,16 +659,10 @@ def net_unit(params: dict) -> dict:
 
     sim, sim_s = execute("sim")
     net, net_s = execute("net")
-    parity = (
-        sim.metrics.summary() == net.metrics.summary()
-        and sim.decisions == net.decisions
-        and sim.crashed == net.crashed
-    )
-    if not parity:
-        raise AssertionError(
-            f"sim/net parity violated for {problem} n={n} seed={seed}: "
-            f"{sim.metrics.summary()} vs {net.metrics.summary()}"
-        )
+    # One parity definition across tests / fuzzing / bench certification;
+    # the labels carry the unit context so a violation raised from a
+    # pool worker still names its row.
+    check_parity(sim, net, f"sim[{problem} n={n} seed={seed}]", "net")
     return {
         "problem": problem,
         "n": n,
@@ -743,16 +740,11 @@ def scenario_unit(params: dict) -> dict:
     ref, _ = execute(optimized=False)
     net, _ = execute(backend="net")
     for label, other in (("sim-ref", ref), ("net", net)):
-        if (
-            other.metrics.summary() != opt.metrics.summary()
-            or other.decisions != opt.decisions
-            or other.crashed != opt.crashed
-        ):
-            raise AssertionError(
-                f"{label} parity violated for {problem}/{model} n={n} "
-                f"seed={seed}: {other.metrics.summary()} vs "
-                f"{opt.metrics.summary()}"
-            )
+        # One parity definition across tests / fuzzing / bench rows; the
+        # label carries the unit context for pool-worker tracebacks.
+        check_parity(
+            opt, other, f"sim-opt[{problem}/{model} n={n} seed={seed}]", label
+        )
     try:
         checker()
         safety = "ok"
@@ -812,3 +804,26 @@ def exp_net(ns: Optional[list[int]] = None, seed: int = 1, jobs: int = 1) -> lis
     and reports the wall-clock ratio of the asyncio runtime over the
     lock-step engine for the same execution."""
     return run_sweep(net_spec(ns, seed), jobs=jobs).rows()
+
+
+# -- Differential fuzzing (repro.check) --------------------------------------
+
+
+def fuzz_spec(budget: int = 35, seed: int = 0) -> SweepSpec:
+    """The :mod:`repro.check` differential-fuzz series as a sweep.
+
+    Each unit is one sampled ``(family, params, scenario, backends)``
+    configuration run differentially across sim-opt/sim-ref/net with
+    every oracle armed; violations surface as row data (``violations`` /
+    ``oracles`` columns), and ``python -m repro.check`` is the
+    fail-fast/shrinking front end over the *same* spec
+    (:func:`repro.check.driver.build_fuzz_spec` is the single unit-shape
+    definition, so the two surfaces cannot drift).  Deterministic given
+    ``seed``; families cycle so any ``budget`` ≥ 7 covers all.
+    """
+    return build_fuzz_spec(seed, budget)
+
+
+def exp_fuzz(budget: int = 35, seed: int = 0, jobs: int = 1) -> list[dict]:
+    """Run the differential-fuzz series and return its rows."""
+    return run_sweep(fuzz_spec(budget, seed), jobs=jobs).rows()

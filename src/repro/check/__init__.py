@@ -1,0 +1,66 @@
+"""``repro.check`` -- differential fuzzing with paper-bound oracles.
+
+The paper's claims are *exact* -- agreement / validity / termination
+plus the Table 1 round and communication budgets -- and the repository
+has three execution substrates (``Engine`` optimized and reference, the
+:mod:`repro.net` runtime) plus a scenario generator whose combined
+state space no hand-written test matrix covers.  This package closes
+the gap mechanically:
+
+* :mod:`repro.check.oracles` -- one definition of "identical
+  execution" (:func:`~repro.check.oracles.check_parity`, shared with
+  the engine parity tests and the bench certification) plus two oracle
+  classes applied to every fuzzed run: **safety/liveness** (the
+  :mod:`repro.properties` predicates, crash-model invariants such as
+  post-crash silence and churn-rejoin consistency) and **paper-bound
+  certificates** (rounds and communication within the Table 1
+  envelopes, explicit constants recorded per run);
+* :mod:`repro.check.driver` -- deterministic sampling of
+  ``(protocol family, params, seeded Scenario, backend set)``
+  configurations and their differential execution: the primary run
+  records a :class:`repro.trace.Trace` on ``sim-opt``, every other
+  backend replays it bit-for-bit (divergence = the first differing
+  event, not a boolean);
+* :mod:`repro.check.shrink` -- greedy deletion/narrowing over a
+  failing scenario's events (via
+  :meth:`repro.scenarios.Scenario.shrink_candidates`), re-running after
+  each mutation, down to a minimal scenario that still trips the same
+  oracle, emitted as a self-contained trace artifact that
+  :func:`repro.trace.replay_trace` reproduces anywhere;
+* :mod:`repro.check.cli` -- ``python -m repro.check --seed 0 --budget
+  200`` (deterministic given ``--seed``, parallel via the sweep
+  scheduler); the same series runs as ``repro-bench fuzz`` and as the
+  nightly CI job.
+"""
+
+from repro.check.driver import (
+    FAMILIES,
+    FuzzConfig,
+    build_fuzz_spec,
+    fuzz_unit,
+    run_config,
+    sample_config,
+)
+from repro.check.oracles import (
+    OracleViolation,
+    bound_certificate,
+    check_parity,
+    run_oracles,
+)
+from repro.check.shrink import ShrinkResult, emit_artifact, shrink_scenario
+
+__all__ = [
+    "FAMILIES",
+    "FuzzConfig",
+    "OracleViolation",
+    "ShrinkResult",
+    "bound_certificate",
+    "build_fuzz_spec",
+    "check_parity",
+    "emit_artifact",
+    "fuzz_unit",
+    "run_config",
+    "run_oracles",
+    "sample_config",
+    "shrink_scenario",
+]

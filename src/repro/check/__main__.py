@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.check``."""
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""``python -m repro.check`` -- the differential fuzzing entry point.
+
+Usage::
+
+    python -m repro.check --seed 0 --budget 200            # the default gauntlet
+    python -m repro.check --seed 7 --budget 50 --jobs 4    # parallel, same rows
+    python -m repro.check --seed 0 --only 13               # replay one config
+    python -m repro.check --families gossip,scv --tcp      # narrow + real sockets
+
+The run is deterministic given ``--seed``: configuration ``i`` is a
+pure function of ``(seed, i)``, so a violation reported by the nightly
+job reproduces locally from its index alone.  Work units fan out over
+``--jobs`` processes via the sweep scheduler (rows independent of the
+worker count).  On any violation the failing scenario is shrunk to a
+minimal one (greedy deletion/narrowing, re-running after each
+mutation) and written to ``--out`` as a self-contained trace artifact
+that ``repro.trace.replay_trace(path)`` reproduces anywhere; the exit
+status is non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.sweep import run_sweep
+from repro.check.driver import (
+    DEFAULT_BACKENDS,
+    FAMILIES,
+    build_fuzz_spec,
+    sample_config,
+)
+from repro.check.shrink import emit_artifact, shrink_scenario
+
+__all__ = ["main"]
+
+#: Replay backends the driver understands (the primary is always
+#: sim-opt); validated at argument-parse time.
+KNOWN_BACKENDS = ("sim-ref", "net", "tcp")
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description=(
+            "Differential fuzzing of the paper's protocols across "
+            "sim-opt/sim-ref/net with safety and paper-bound oracles; "
+            "violations are shrunk to minimal replayable scenarios."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="series seed (default 0)")
+    parser.add_argument(
+        "--budget", type=int, default=100,
+        help="number of configurations to run (default 100)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (default 1; rows are jobs-independent)",
+    )
+    parser.add_argument(
+        "--only", type=str, default=None, metavar="I[,J...]",
+        help="run only these configuration indices of the seed's series",
+    )
+    parser.add_argument(
+        "--families", type=str, default="",
+        help=f"comma-joined subset of {','.join(FAMILIES)}",
+    )
+    parser.add_argument(
+        "--backends", type=str, default="",
+        help=(
+            "comma-joined replay backends (default "
+            f"{','.join(DEFAULT_BACKENDS)}); the primary always runs sim-opt"
+        ),
+    )
+    parser.add_argument(
+        "--tcp", action="store_true",
+        help="also replay every configuration over loopback TCP sockets",
+    )
+    parser.add_argument(
+        "--out", type=str, default="fuzz-artifacts", metavar="DIR",
+        help="directory for shrunk trace artifacts (default fuzz-artifacts/)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without shrinking (faster triage loop)",
+    )
+    parser.add_argument(
+        "--max-shrink-runs", type=int, default=150,
+        help="re-run budget per shrink (default 150)",
+    )
+    return parser.parse_args(argv)
+
+
+def _families_tuple(arg: str):
+    names = tuple(f for f in arg.split(",") if f)
+    for name in names:
+        if name not in FAMILIES:
+            raise SystemExit(
+                f"unknown family {name!r}; choose from {', '.join(FAMILIES)}"
+            )
+    return names or FAMILIES
+
+
+def _backends_tuple(arg: str):
+    names = tuple(b for b in arg.split(",") if b)
+    for name in names:
+        if name not in KNOWN_BACKENDS:
+            raise SystemExit(
+                f"unknown backend {name!r}; choose from "
+                f"{', '.join(KNOWN_BACKENDS)}"
+            )
+    return names or DEFAULT_BACKENDS
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    families = _families_tuple(args.families)
+    backends = _backends_tuple(args.backends)
+    if args.tcp and "tcp" not in backends:
+        backends = backends + ("tcp",)
+    indices = None
+    if args.only is not None:
+        indices = [int(part) for part in args.only.split(",") if part]
+    spec = build_fuzz_spec(
+        args.seed,
+        args.budget,
+        families=",".join(families) if args.families else "",
+        backends=",".join(backends),
+        indices=indices,
+    )
+    report = run_sweep(spec, jobs=args.jobs)
+    rows = report.rows()
+
+    clean = [row for row in rows if not row["violations"]]
+    failures = [row for row in rows if row["violations"]]
+    by_family: dict[str, int] = {}
+    for row in rows:
+        by_family[row["family"]] = by_family.get(row["family"], 0) + 1
+    print(
+        f"repro.check: {len(rows)} configurations (seed={args.seed}, "
+        f"backends sim-opt+{'+'.join(backends)}), "
+        f"{len(clean)} clean, {len(failures)} violating "
+        f"[{report.elapsed:.1f}s, jobs={report.jobs}]"
+    )
+    print(
+        "families: "
+        + ", ".join(f"{name}={count}" for name, count in sorted(by_family.items()))
+    )
+    ratios = [row["comm_ratio"] for row in rows if row.get("comm_ratio")]
+    if ratios:
+        print(
+            f"paper-bound certificates: {len(ratios)} armed, "
+            f"max comm/bound ratio {max(ratios):.3f}"
+        )
+
+    for row in failures:
+        index = row["index"]
+        print(f"\nVIOLATION at index {index} ({row['family']}, {row['kind']}):")
+        for violation in row.get("violation_details", []):
+            print(f"  [{violation['oracle']}] {violation['detail']}")
+        config = sample_config(
+            args.seed, index, families=families, backends=backends
+        )
+        if args.no_shrink:
+            continue
+        shrunk = shrink_scenario(
+            config,
+            row.get("violation_details", []),
+            max_runs=args.max_shrink_runs,
+        )
+        path = emit_artifact(config, shrunk, args.out)
+        summary = shrunk.summary()
+        print(
+            f"  shrunk scenario {summary['original_size']} -> "
+            f"{summary['minimal_size']} (size units) in {summary['steps']} "
+            f"steps / {summary['runs']} re-runs"
+        )
+        print(f"  artifact: {path}  (replay_trace(path) reproduces it)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

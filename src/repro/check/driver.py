@@ -1,0 +1,394 @@
+"""Deterministic sampling and differential execution of fuzz configs.
+
+One **fuzz configuration** is ``(protocol family, instance parameters,
+seeded random Scenario, backend set)``, sampled as a pure function of
+``(seed, index)`` -- re-running with the same seed replays the exact
+same configurations, which is what makes a nightly fuzz failure
+reproducible from its printed index alone.
+
+Differential execution re-uses the trace machinery instead of
+re-implementing comparison: the primary run executes on the optimized
+engine with a :class:`repro.trace.TraceRecorder` attached, and every
+other backend (reference engine, asyncio runtime over memory or TCP)
+**replays the trace with verification** -- so a cross-backend
+divergence is reported as the first differing event
+(:class:`repro.trace.TraceDivergence`), not as a boolean.  The oracles
+of :mod:`repro.check.oracles` then run on the primary result.
+
+``fuzz_unit`` is the module-level (picklable) sweep runner: the
+``repro-bench fuzz`` series and the ``python -m repro.check`` CLI both
+fan configurations out through the PR 1 sweep scheduler, so ``--jobs``
+parallelism never changes a row.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro import api
+from repro.bench.sweep import SweepSpec, derive_seed
+from repro.check.oracles import in_crash_model, run_oracles
+from repro.core.params import ProtocolParams
+from repro.scenarios import Scenario, scenario_schedule
+from repro.trace import TraceDivergence, replay_trace
+
+__all__ = [
+    "FAMILIES",
+    "FuzzConfig",
+    "build_fuzz_spec",
+    "fuzz_unit",
+    "run_config",
+    "sample_config",
+]
+
+#: Every protocol family the driver covers; ``sample_config`` cycles
+#: through them by index, so any contiguous index range covers all.
+FAMILIES = (
+    "consensus-few",
+    "consensus-many",
+    "aea",
+    "scv",
+    "gossip",
+    "checkpointing",
+    "ab-consensus",
+)
+
+#: Default replay backends for differential comparison; ``tcp`` joins
+#: behind the CLI's ``--tcp`` flag (slow: real sockets per config).
+DEFAULT_BACKENDS = ("sim-ref", "net")
+
+#: Scenario kinds and their sampling weights (cumulative thresholds).
+_KIND_WEIGHTS = (
+    ("none", 0.15),
+    ("crash", 0.50),
+    ("omission", 0.62),
+    ("partition", 0.74),
+    ("churn", 0.87),
+    ("mixed", 1.0),
+)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fully-bound fuzz configuration (pure data)."""
+
+    index: int
+    seed: int
+    family: str
+    recipe: dict
+    scenario: Optional[Scenario]
+    kind: str
+    max_rounds: int
+    backends: tuple[str, ...] = DEFAULT_BACKENDS
+    #: force the safety oracle on/off regardless of the in-model gate
+    #: (``None`` = gate normally); the deliberate-fault tests arm it
+    #: for out-of-model scenarios to exercise the catch->shrink->replay
+    #: pipeline end to end
+    include_safety: Optional[bool] = None
+    #: extra metadata for reports (victim pool, horizon, ...)
+    info: dict = field(default_factory=dict)
+
+    def with_scenario(self, scenario: Optional[Scenario]) -> "FuzzConfig":
+        return replace(self, scenario=scenario)
+
+
+def _sample_instance(family: str, rng: random.Random, seed: int) -> dict:
+    """A random JSON-safe protocol recipe for ``family``."""
+    if family == "consensus-few":
+        n = rng.randrange(20, 56)
+        t = rng.randrange(1, (n - 1) // 5 + 1)
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        return {"name": "consensus", "inputs": inputs, "t": t, "algorithm": "few"}
+    if family == "consensus-many":
+        n = rng.randrange(16, 40)
+        t = rng.randrange(1, max(2, n // 2))
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        return {"name": "consensus", "inputs": inputs, "t": t, "algorithm": "many"}
+    if family == "aea":
+        n = rng.randrange(24, 60)
+        t = rng.randrange(1, max(2, n // 6 + 1))
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        return {"name": "aea", "inputs": inputs, "t": t}
+    if family == "scv":
+        n = rng.randrange(20, 56)
+        t = rng.randrange(1, (n - 1) // 5 + 1)
+        holders = sorted(rng.sample(range(n), max(3 * n // 5 + 1, 7 * n // 10)))
+        return {"name": "scv", "n": n, "t": t, "holders": holders,
+                "common_value": 1}
+    if family == "gossip":
+        n = rng.randrange(20, 50)
+        t = rng.randrange(1, (n - 1) // 5 + 1)
+        rumors = [f"rumor-{seed}-{i}" for i in range(n)]
+        return {"name": "gossip", "rumors": rumors, "t": t}
+    if family == "checkpointing":
+        n = rng.randrange(20, 50)
+        t = rng.randrange(1, (n - 1) // 5 + 1)
+        return {"name": "checkpointing", "n": n, "t": t}
+    if family == "ab-consensus":
+        n = rng.randrange(16, 40)
+        t = rng.randrange(1, max(2, (n - 1) // 2))
+        byz_cap = min(t, max(1, int(n**0.5)))
+        byz = sorted(rng.sample(range(n), rng.randrange(0, byz_cap + 1)))
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        return {
+            "name": "ab_consensus",
+            "inputs": inputs,
+            "t": t,
+            "byzantine": byz,
+            "behaviour": rng.choice(("silent", "equivocate", "spam")),
+        }
+    raise ValueError(f"unknown family {family!r}")
+
+
+def _instance_shape(recipe: dict) -> tuple[int, int]:
+    if "inputs" in recipe:
+        return len(recipe["inputs"]), recipe["t"]
+    if "rumors" in recipe:
+        return len(recipe["rumors"]), recipe["t"]
+    return recipe["n"], recipe["t"]
+
+
+def _fault_horizon(family: str, params: ProtocolParams) -> int:
+    """The round window faults are placed in -- the same horizon the
+    ``build_*_processes`` builders report for crash schedules."""
+    if family in ("consensus-few", "aea"):
+        return params.little_flood_rounds + params.little_probe_rounds
+    if family == "consensus-many":
+        return params.mcc_flood_rounds + params.mcc_probe_rounds
+    if family == "scv":
+        return params.scv_spread_rounds
+    if family in ("gossip", "checkpointing"):
+        return params.gossip_phase_count * (2 + params.little_probe_rounds)
+    if family == "ab-consensus":
+        return 8
+    raise ValueError(f"unknown family {family!r}")
+
+
+def _sample_scenario(
+    family: str,
+    recipe: dict,
+    rng: random.Random,
+    window: int,
+    name: str,
+) -> tuple[str, Optional[Scenario]]:
+    n, t = _instance_shape(recipe)
+    draw = rng.random()
+    kind = next(label for label, ceiling in _KIND_WEIGHTS if draw < ceiling)
+    if kind == "none":
+        return kind, None
+    # Crash/churn victims must avoid the Byzantine set (the substrates
+    # reject an adversary crashing a Byzantine node).
+    victims = [p for p in range(n) if p not in set(recipe.get("byzantine", ()))]
+    counts = {
+        "crash": dict(crashes=rng.randrange(1, t + 1)),
+        "omission": dict(omission_links=rng.randrange(1, 2 * n)),
+        "partition": dict(partition_windows=rng.randrange(1, 3)),
+        "churn": dict(churn_nodes=rng.randrange(1, min(max(t, 1), 3) + 1)),
+        "mixed": dict(
+            crashes=rng.randrange(0, max(1, t // 2) + 1),
+            omission_links=rng.randrange(1, n),
+            partition_windows=rng.randrange(0, 2),
+            churn_nodes=rng.randrange(0, min(max(t, 1), 2) + 1),
+        ),
+    }[kind]
+    scenario = scenario_schedule(
+        n, rng=rng, max_round=window, victims=victims, name=name, **counts
+    )
+    return kind, scenario
+
+
+def sample_config(
+    seed: int,
+    index: int,
+    *,
+    families: Sequence[str] = FAMILIES,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+) -> FuzzConfig:
+    """The ``index``-th fuzz configuration of a ``seed``-keyed series.
+
+    A pure function of its arguments (randomness comes from a
+    ``random.Random`` seeded via :func:`repro.bench.sweep.derive_seed`;
+    the module-level ``random`` state is never touched).  Families cycle
+    by index so every budget ≥ ``len(families)`` covers all of them.
+    """
+    rng = random.Random(derive_seed(seed, ("repro.check", index)))
+    family = families[index % len(families)]
+    recipe = _sample_instance(family, rng, seed)
+    n, t = _instance_shape(recipe)
+    params = ProtocolParams(n=n, t=t, seed=recipe.get("overlay_seed", 0))
+    horizon = _fault_horizon(family, params)
+    window = max(4, min(horizon, 24))
+    kind, scenario = _sample_scenario(
+        family, recipe, rng, window, name=f"fuzz-{seed}-{index}"
+    )
+    # Generous but *bounded* safety net: a run that fails to quiesce
+    # (e.g. a churn node rejoined past its protocol's schedule) burns
+    # a few hundred rounds and reports completed=False instead of
+    # stalling the fuzzer at an engine-default six-figure bound.
+    max_rounds = 4 * horizon + 4 * n + 64
+    return FuzzConfig(
+        index=index,
+        seed=seed,
+        family=family,
+        recipe=recipe,
+        scenario=scenario,
+        kind=kind,
+        max_rounds=max_rounds,
+        backends=tuple(backends),
+        info={"horizon": horizon, "event_window": window},
+    )
+
+
+# -- differential execution ---------------------------------------------------
+
+
+def _execution_kwargs(config: FuzzConfig) -> dict:
+    kwargs: dict = {"max_rounds": config.max_rounds}
+    if config.recipe.get("name") != "ab_consensus":
+        kwargs["crashes"] = None  # failure-free unless the scenario says so
+    if config.scenario is not None:
+        kwargs["scenario"] = config.scenario
+    return kwargs
+
+
+def run_config(config: FuzzConfig) -> dict:
+    """Execute one configuration differentially and run every oracle.
+
+    Returns a JSON-safe report row: the instance shape, the primary
+    run's headline metrics, the violated oracles (empty when clean) and
+    the paper-bound certificate when one armed.  Never raises on a
+    violation -- violations are data, so a sweep over many
+    configurations completes and reports them all.
+    """
+    primary = api.run_recipe(
+        config.recipe,
+        backend="sim",
+        optimized=True,
+        record_trace=True,
+        **_execution_kwargs(config),
+    )
+    trace = primary.trace
+    violations: list[dict] = []
+    for backend in config.backends:
+        try:
+            if backend == "sim-ref":
+                replay_trace(trace, backend="sim", optimized=False)
+            elif backend in ("net", "tcp"):
+                replay_trace(trace, backend=backend)
+            else:
+                raise ValueError(f"unknown replay backend {backend!r}")
+        except TraceDivergence as exc:
+            violations.append(
+                {"oracle": f"parity:{backend}", "detail": str(exc)}
+            )
+
+    clean = None
+    if (
+        config.scenario is not None
+        and config.scenario.crashes
+        and in_crash_model(config.recipe, config.scenario)
+    ):
+        # Failure-free baseline of the same instance, for the
+        # rounds-within-O(t) certificate.
+        clean = api.run_recipe(
+            config.recipe,
+            backend="sim",
+            crashes=None,
+            max_rounds=config.max_rounds,
+        )
+    oracle_violations, certificate = run_oracles(
+        config.family,
+        config.recipe,
+        primary,
+        scenario=config.scenario,
+        trace=trace,
+        clean=clean,
+        max_rounds=config.max_rounds,
+        include_safety=config.include_safety,
+    )
+    violations.extend(oracle_violations)
+
+    n, t = _instance_shape(config.recipe)
+    row = {
+        "index": config.index,
+        "family": config.family,
+        "n": n,
+        "t": t,
+        "kind": config.kind,
+        "faults": config.scenario.fault_budget() if config.scenario else 0,
+        "rounds": primary.rounds,
+        "messages": primary.messages,
+        "bits": primary.bits,
+        "dropped": primary.metrics.dropped_messages,
+        "completed": primary.completed,
+        "in_model": in_crash_model(config.recipe, config.scenario),
+        "violations": len(violations),
+        "oracles": ";".join(v["oracle"] for v in violations),
+    }
+    if violations:
+        row["violation_details"] = violations
+    if certificate is not None:
+        row["comm_ratio"] = certificate["comm_ratio"]
+        # Compact certificate column for tables/CSV; the full dict is in
+        # the violation detail whenever the bound oracle fires.
+        row["certificate"] = (
+            f"rounds {certificate['rounds']}<={certificate['round_bound']}, "
+            f"{certificate['comm_measure']} {certificate['comm']}"
+            f"<={certificate['constant']:g}x{certificate['envelope']:g}"
+        )
+    return row
+
+
+def fuzz_unit(params: dict) -> dict:
+    """Sweep-runner form of :func:`run_config` (module-level, picklable).
+
+    ``params`` binds ``fuzz_seed`` and ``index`` plus optional
+    comma-joined ``families`` and ``backends`` overrides -- the unit
+    shape used by the ``repro-bench fuzz`` series and the CLI.
+    """
+    families = tuple(
+        f for f in (params.get("families") or "").split(",") if f
+    ) or FAMILIES
+    backends = tuple(
+        b for b in (params.get("backends") or "").split(",") if b
+    ) or DEFAULT_BACKENDS
+    config = sample_config(
+        params["fuzz_seed"],
+        params["index"],
+        families=families,
+        backends=backends,
+    )
+    return run_config(config)
+
+
+def build_fuzz_spec(
+    seed: int,
+    budget: int,
+    *,
+    families: str = "",
+    backends: str = "",
+    indices=None,
+) -> SweepSpec:
+    """The fuzz series as a :class:`~repro.bench.sweep.SweepSpec`.
+
+    The single definition of the fuzz unit shape, shared by the
+    ``python -m repro.check`` CLI and the ``repro-bench fuzz`` series so
+    their rows can never diverge for the same seed.  ``families`` /
+    ``backends`` are comma-joined overrides (empty = defaults);
+    ``indices`` restricts to explicit configuration indices (the CLI's
+    ``--only`` path) instead of ``range(budget)``.
+    """
+    index_range = list(indices) if indices is not None else list(range(budget))
+    units = [
+        {
+            "index": index,
+            "fuzz_seed": seed,
+            "seed": seed,
+            "families": families,
+            "backends": backends,
+        }
+        for index in index_range
+    ]
+    return SweepSpec(name="fuzz", runner=fuzz_unit, units=units, base_seed=seed)

@@ -33,6 +33,7 @@ split the coordinator and node shards across OS processes (see
 helpers accept ``backend="net"`` / ``backend="tcp"`` and route here.
 """
 
+from repro.net.codec import MAX_FRAME_BYTES, FrameTooLargeError
 from repro.net.faults import NetFaultInjector, RuntimeView
 from repro.net.runtime import (
     NetRuntimeError,
@@ -45,6 +46,8 @@ from repro.net.runtime import (
 from repro.net.transport import MemoryHub, TCPHub, connect_tcp
 
 __all__ = [
+    "FrameTooLargeError",
+    "MAX_FRAME_BYTES",
     "MemoryHub",
     "NetFaultInjector",
     "NetRuntimeError",

@@ -18,6 +18,21 @@ Header layouts (big-endian):
 
 The hub rewrites the 4-byte address field when forwarding, so a
 destination learns the sender without the body being examined en route.
+
+Frame-size guard
+----------------
+The ``u32`` length field can nominally announce a body of up to 4 GiB;
+a corrupt or truncated frame (one flipped length byte, a reader
+desynchronised mid-stream) would make ``readexactly`` await -- and
+eventually allocate -- that much before anything notices.
+:func:`check_frame_size` bounds every announced length *before* the
+body is read: both the TCP hub's ingress loop and every
+:class:`~repro.net.transport.TCPEndpoint` reader validate against a
+configurable limit (:data:`MAX_FRAME_BYTES` by default) and fail fast
+with :class:`FrameTooLargeError` naming the peer and the read phase,
+instead of stalling the round barrier on a multi-gigabyte read.  The
+paper's protocols exchange payloads of at most a few ``n``-bit sets, so
+the default limit is generous by orders of magnitude.
 """
 
 from __future__ import annotations
@@ -26,7 +41,15 @@ import pickle
 import struct
 from typing import Any
 
-__all__ = ["HEADER", "HELLO", "decode", "encode"]
+__all__ = [
+    "HEADER",
+    "HELLO",
+    "MAX_FRAME_BYTES",
+    "FrameTooLargeError",
+    "check_frame_size",
+    "decode",
+    "encode",
+]
 
 #: ``(body_len, address)`` -- address is dst on the way to the hub and
 #: src on the way out.
@@ -34,6 +57,42 @@ HEADER = struct.Struct(">Ii")
 
 #: One-shot handshake a TCP endpoint sends on connect: its own address.
 HELLO = struct.Struct(">i")
+
+#: Default ceiling on one frame body, in bytes (64 MiB).  Far above any
+#: legitimate protocol payload at simulation scale, far below the 4 GiB
+#: a corrupt ``u32`` length header can announce.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameTooLargeError(RuntimeError):
+    """A frame header announced a body beyond the configured limit.
+
+    Raised *before* the body is read, so a corrupt or truncated frame
+    surfaces as a named error at the reader instead of an unbounded
+    ``readexactly`` await.  The message carries the peer and the read
+    phase for triage.
+    """
+
+
+def check_frame_size(
+    length: int, *, limit: int = MAX_FRAME_BYTES, peer: str, phase: str
+) -> int:
+    """Validate an announced frame-body length against ``limit``.
+
+    Returns ``length`` unchanged when acceptable; raises
+    :class:`FrameTooLargeError` naming ``peer`` (who sent the header)
+    and ``phase`` (which read loop hit it) otherwise.  A negative
+    ``limit`` disables the guard (for tests that need to exercise the
+    raw path).
+    """
+    if 0 <= limit < length:
+        raise FrameTooLargeError(
+            f"frame from {peer} announces a {length}-byte body, over the "
+            f"{limit}-byte limit ({phase}); the stream is corrupt or the "
+            "peer is misbehaving -- dropping the connection instead of "
+            "reading it"
+        )
+    return length
 
 
 def encode(obj: Any) -> bytes:

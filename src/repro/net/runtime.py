@@ -569,12 +569,16 @@ class Synchronizer:
             if delivered_any:
                 last_active_round = rnd
 
-            # Termination: all operational non-Byzantine nodes halted.
+            # Termination: all operational non-Byzantine nodes halted and
+            # no crashed node still has a scheduled rejoin ahead -- the
+            # engine's rule exactly (see Engine._rejoin_pending): a
+            # pending rejoin always fires before the run ends, and one at
+            # or beyond max_rounds exhausts the safety bound instead.
             if all(
                 self.statuses[pid].halted
                 for pid in range(self.n)
                 if pid not in self.crashed and pid not in self.byzantine
-            ):
+            ) and not self._rejoin_pending(rnd):
                 self.metrics.rounds = rnd + 1
                 completed = True
                 hit_max = False
@@ -584,6 +588,13 @@ class Synchronizer:
         if hit_max:
             self.metrics.rounds = self.max_rounds
         return completed, last_active_round
+
+    def _rejoin_pending(self, rnd: int) -> bool:
+        """Mirror of :meth:`repro.sim.engine.Engine._rejoin_pending`."""
+        for pid in self.crashed:
+            if self.injector.next_rejoin(pid, rnd) is not None:
+                return True
+        return False
 
     def _advance(self, rnd: int, delivered_any: bool, receivers: list[int]) -> int:
         """The engine's quiescence fast-forward over reported wake rounds."""

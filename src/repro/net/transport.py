@@ -21,9 +21,18 @@ dropped, mirroring the simulator's "crashed nodes receive nothing".
 from __future__ import annotations
 
 import asyncio
+import sys
 from typing import Any, Optional
 
-from repro.net.codec import HEADER, HELLO, decode, encode
+from repro.net.codec import (
+    HEADER,
+    HELLO,
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    check_frame_size,
+    decode,
+    encode,
+)
 
 __all__ = [
     "Endpoint",
@@ -179,10 +188,24 @@ class TCPHub(_Router):
     flood each other past the socket buffers.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
         super().__init__()
         self.host = host
         self.port = port
+        #: per-frame body-size ceiling enforced on ingress (see
+        #: :func:`repro.net.codec.check_frame_size`); a connection whose
+        #: header announces more is dropped before the body is read
+        self.max_frame_bytes = max_frame_bytes
+        #: last ingress frame-guard failure, kept for triage: the
+        #: poisoned connection is dropped (its peers see EOF), and this
+        #: names which endpoint sent the corrupt header and why
+        self.last_frame_error: Optional[str] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._pumps: dict[int, asyncio.Task] = {}
         self._writers: dict[int, asyncio.StreamWriter] = {}
@@ -232,10 +255,26 @@ class TCPHub(_Router):
             while True:
                 header = await reader.readexactly(HEADER.size)
                 length, dst = HEADER.unpack(header)
+                check_frame_size(
+                    length,
+                    limit=self.max_frame_bytes,
+                    peer=f"endpoint address {address}",
+                    phase="hub ingress",
+                )
                 body = await reader.readexactly(length)
                 self._route(address, dst, body)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass
+        except FrameTooLargeError as exc:
+            # A corrupt stream cannot be resynchronised: drop this
+            # connection (the finally clause detaches and closes it).
+            # The peer -- and anyone awaiting its frames -- observes
+            # EOF, so the failure surfaces as a named coordinator
+            # timeout/recv error instead of a 4 GiB read stall.  Keep
+            # the peer/phase diagnostic: the dropped connection alone
+            # would otherwise read as an anonymous worker death.
+            self.last_frame_error = str(exc)
+            print(f"TCPHub: {exc}", file=sys.stderr)
         except asyncio.CancelledError:
             # Handler tasks are cancelled en masse when the hosting loop
             # tears down after an error path; the hub is going away, so
@@ -271,10 +310,15 @@ class TCPEndpoint(Endpoint):
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         address: int,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
     ):
         self._reader = reader
         self._writer = writer
         self.address = address
+        #: per-frame body-size ceiling enforced before each body read;
+        #: see :func:`repro.net.codec.check_frame_size`
+        self.max_frame_bytes = max_frame_bytes
 
     async def send_encoded(self, dst: int, body: bytes) -> None:
         self._writer.write(HEADER.pack(len(body), dst) + body)
@@ -283,6 +327,12 @@ class TCPEndpoint(Endpoint):
     async def recv(self) -> tuple[int, Any]:
         header = await self._reader.readexactly(HEADER.size)
         length, src = HEADER.unpack(header)
+        check_frame_size(
+            length,
+            limit=self.max_frame_bytes,
+            peer=f"hub-forwarded frame from address {src}",
+            phase=f"endpoint {self.address} recv",
+        )
         body = await self._reader.readexactly(length)
         return src, decode(body)
 
@@ -312,12 +362,19 @@ class TCPEndpoint(Endpoint):
 
 
 async def connect_tcp(
-    host: str, port: int, address: int, *, deadline: float = 10.0
+    host: str,
+    port: int,
+    address: int,
+    *,
+    deadline: float = 10.0,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
 ) -> TCPEndpoint:
     """Connect an endpoint to a :class:`TCPHub`, retrying until ``deadline``.
 
     Retrying lets worker processes race the hub's startup: the first
     process to run simply waits for the listener to appear.
+    ``max_frame_bytes`` is the endpoint's inbound frame-size guard (see
+    :func:`repro.net.codec.check_frame_size`).
     """
     loop = asyncio.get_running_loop()
     give_up = loop.time() + deadline
@@ -331,4 +388,4 @@ async def connect_tcp(
             await asyncio.sleep(0.05)
     writer.write(HELLO.pack(address))
     await writer.drain()
-    return TCPEndpoint(reader, writer, address)
+    return TCPEndpoint(reader, writer, address, max_frame_bytes=max_frame_bytes)

@@ -268,6 +268,126 @@ class Scenario:
         """Compile into an adversary driving either substrate."""
         return ScenarioAdversary(self)
 
+    # -- shrinking (repro.check) -----------------------------------------
+
+    def shrink_size(self) -> int:
+        """A strictly-decreasing complexity measure for shrinking.
+
+        Every candidate :meth:`shrink_candidates` yields has a smaller
+        ``shrink_size`` than its parent, so the greedy loop in
+        :mod:`repro.check.shrink` terminates unconditionally.  The
+        weights order the fault classes by how much machinery they drag
+        in (churn > crash; a partial-send ``keep`` budget adds one).
+        """
+        size = 0
+        for event in self.crashes:
+            size += 3 + (event.keep is not None)
+        for spec in self.churn:
+            size += 5 + (spec.keep is not None)
+        for spec in self.omissions:
+            size += 2 + len(spec.rounds)
+        for spec in self.partitions:
+            size += 2 + (spec.stop - spec.start) + len(spec.groups)
+        return size
+
+    def shrink_candidates(self):
+        """Yield strictly-simpler one-mutation variants of this scenario.
+
+        The mutation operators, in the order tried by the greedy
+        shrinker (largest simplification first):
+
+        1. **delete** a whole crash / churn / omission / partition entry;
+        2. **demote** a churn entry to a plain crash (drop the rejoin leg);
+        3. **narrow** an omission's round list or a partition's window to
+           its first or second half, or drop one partition group;
+        4. **simplify** a crash-round ``keep`` budget to ``None`` (full
+           final send).
+
+        Every candidate is a valid scenario (the mutations preserve the
+        :meth:`validate` invariants) with a smaller :meth:`shrink_size`.
+        Used by :mod:`repro.check.shrink` to reduce a failing scenario to
+        a minimal one that still trips the same oracle.
+        """
+
+        def variant(**changes) -> "Scenario":
+            fields = {
+                "n": self.n,
+                "name": self.name,
+                "crashes": self.crashes,
+                "omissions": self.omissions,
+                "partitions": self.partitions,
+                "churn": self.churn,
+            }
+            fields.update(changes)
+            return Scenario(**fields)
+
+        def drop(items: tuple, index: int) -> tuple:
+            return items[:index] + items[index + 1 :]
+
+        # 1. whole-entry deletions.
+        for i in range(len(self.crashes)):
+            yield variant(crashes=drop(self.crashes, i))
+        for i in range(len(self.churn)):
+            yield variant(churn=drop(self.churn, i))
+        for i in range(len(self.omissions)):
+            yield variant(omissions=drop(self.omissions, i))
+        for i in range(len(self.partitions)):
+            yield variant(partitions=drop(self.partitions, i))
+        # 2. churn -> plain crash (the rejoin leg deleted).
+        for i, spec in enumerate(self.churn):
+            yield variant(
+                churn=drop(self.churn, i),
+                crashes=self.crashes
+                + (CrashEvent(spec.pid, spec.crash_round, spec.keep),),
+            )
+        # 3a. omission round-list halving.
+        for i, spec in enumerate(self.omissions):
+            if len(spec.rounds) > 1:
+                mid = len(spec.rounds) // 2
+                for half in (spec.rounds[:mid], spec.rounds[mid:]):
+                    yield variant(
+                        omissions=drop(self.omissions, i)
+                        + (OmissionSpec(spec.src, spec.dst, half),)
+                    )
+        # 3b. partition window halving and group dropping.
+        for i, spec in enumerate(self.partitions):
+            rest = drop(self.partitions, i)
+            span = spec.stop - spec.start
+            if span > 1:
+                mid = spec.start + span // 2
+                for window in ((spec.start, mid), (mid, spec.stop)):
+                    yield variant(
+                        partitions=rest
+                        + (PartitionSpec(window[0], window[1], spec.groups),)
+                    )
+            if len(spec.groups) > 1:
+                for g in range(len(spec.groups)):
+                    yield variant(
+                        partitions=rest
+                        + (
+                            PartitionSpec(
+                                spec.start, spec.stop, drop(spec.groups, g)
+                            ),
+                        )
+                    )
+        # 4. keep-budget simplification.
+        for i, event in enumerate(self.crashes):
+            if event.keep is not None:
+                yield variant(
+                    crashes=drop(self.crashes, i)
+                    + (CrashEvent(event.pid, event.round, None),)
+                )
+        for i, spec in enumerate(self.churn):
+            if spec.keep is not None:
+                yield variant(
+                    churn=drop(self.churn, i)
+                    + (
+                        ChurnSpec(
+                            spec.pid, spec.crash_round, spec.rejoin_round, None
+                        ),
+                    )
+                )
+
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:

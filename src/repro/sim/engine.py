@@ -20,8 +20,12 @@ Each round ``r`` consists of:
    inbox.
 
 Termination: the run ends when every operational non-Byzantine process
-has halted; the round count reported is the number of rounds that
-occurred until then, matching the paper's running-time metric.
+has halted **and** no crashed process still has a scheduled churn
+rejoin ahead of it (a pending rejoin always fires before the run ends;
+one at or beyond ``max_rounds`` exhausts the safety bound instead, so a
+scheduled rejoin is never silently skipped).  The round count reported
+is the number of rounds that occurred until then, matching the paper's
+running-time metric.
 
 Fast-forward
 ------------
@@ -267,10 +271,11 @@ class Engine:
         executed round's receive phase (used by the Theorem 13
         lower-bound machinery to compare states across executions);
         passing an observer disables fast-forward so every round is
-        observed.
+        observed.  The disable is local to this call -- the engine's
+        ``fast_forward`` attribute is never mutated, so later inspection
+        or reuse of the engine sees the constructor's setting.
         """
-        if observer is not None:
-            self.fast_forward = False
+        fast_forward = self.fast_forward and observer is None
         for pid in self.adversary.rejoin_pids():
             if not 0 <= pid < self.n:
                 raise ProtocolError(f"rejoin scheduled for invalid pid {pid}")
@@ -283,9 +288,13 @@ class Engine:
             proc.on_start()
 
         if self.optimized:
-            completed, last_active_round = self._loop_optimized(observer)
+            completed, last_active_round = self._loop_optimized(
+                observer, fast_forward
+            )
         else:
-            completed, last_active_round = self._loop_reference(observer)
+            completed, last_active_round = self._loop_reference(
+                observer, fast_forward
+            )
 
         if not completed:
             # Either max_rounds was hit, or every process crashed.
@@ -310,7 +319,7 @@ class Engine:
 
     # -- round loops ------------------------------------------------------
 
-    def _loop_reference(self, observer) -> tuple[bool, int]:
+    def _loop_reference(self, observer, fast_forward: bool) -> tuple[bool, int]:
         """The original straight-line round loop (executable spec).
 
         Returns ``(completed, last_active_round)``; on non-completion the
@@ -391,18 +400,20 @@ class Engine:
             if observer is not None:
                 observer(rnd, self.processes)
 
-            # Termination check: all operational non-Byzantine halted.
-            if self._all_halted():
+            # Termination check: all operational non-Byzantine halted and
+            # no crashed node still has a scheduled rejoin ahead (a run
+            # never ends while churn is pending; see _rejoin_pending).
+            if self._all_halted() and not self._rejoin_pending(rnd):
                 self.metrics.rounds = rnd + 1
                 completed = True
                 break
 
-            rnd = self._advance(rnd, delivered_any)
+            rnd = self._advance(rnd, delivered_any, fast_forward)
         else:
             self.metrics.rounds = self.max_rounds
         return completed, last_active_round
 
-    def _loop_optimized(self, observer) -> tuple[bool, int]:
+    def _loop_optimized(self, observer, fast_forward: bool) -> tuple[bool, int]:
         """Batched hot-path round loop; observably identical to
         :meth:`_loop_reference` (see module docstring and the parity
         tests)."""
@@ -576,15 +587,17 @@ class Engine:
                 ]
 
             # Termination: all operational non-Byzantine halted, i.e.
-            # only Byzantine processes remain active.
-            if not active or (
-                byzantine and all(p.pid in byzantine for p in active)
-            ):
+            # only Byzantine processes remain active -- and no crashed
+            # node still has a scheduled rejoin ahead.
+            if (
+                not active
+                or (byzantine and all(p.pid in byzantine for p in active))
+            ) and not self._rejoin_pending(rnd):
                 self.metrics.rounds = rnd + 1
                 completed = True
                 break
 
-            rnd = self._advance_active(rnd, delivered_any, active)
+            rnd = self._advance_active(rnd, delivered_any, active, fast_forward)
         else:
             self.metrics.rounds = self.max_rounds
         return completed, last_active_round
@@ -632,9 +645,28 @@ class Engine:
                 return False
         return True
 
-    def _advance(self, rnd: int, delivered_any: bool) -> int:
+    def _rejoin_pending(self, rnd: int) -> bool:
+        """Whether a currently-crashed node has a rejoin scheduled after
+        ``rnd``.
+
+        Termination semantics under churn: a run never ends while a
+        scheduled rejoin is still outstanding -- the engine idles (the
+        quiescence fast-forward jumps straight to the rejoin, which
+        :meth:`~repro.sim.adversary.CrashAdversary.next_event_round`
+        reports) until the node is reinstated, and only then re-checks
+        the all-halted condition.  A rejoin scheduled at or beyond
+        ``max_rounds`` can never fire, so the run exhausts the safety
+        bound and reports ``completed=False``.  The net runtime applies
+        the identical rule (pinned by the churn parity tests).
+        """
+        for pid in self.crashed:
+            if self.adversary.next_rejoin(pid, rnd) is not None:
+                return True
+        return False
+
+    def _advance(self, rnd: int, delivered_any: bool, fast_forward: bool) -> int:
         """Compute the next round index, fast-forwarding when quiescent."""
-        if not self.fast_forward or delivered_any:
+        if not fast_forward or delivered_any:
             return rnd + 1
         # No deliveries this round: nothing can be triggered at rnd + 1,
         # so jump to the earliest spontaneous activity or crash event.
@@ -658,10 +690,14 @@ class Engine:
         return max(rnd + 1, nxt)
 
     def _advance_active(
-        self, rnd: int, delivered_any: bool, active: Sequence[Process]
+        self,
+        rnd: int,
+        delivered_any: bool,
+        active: Sequence[Process],
+        fast_forward: bool,
     ) -> int:
         """:meth:`_advance` over a pre-filtered active-process list."""
-        if not self.fast_forward or delivered_any:
+        if not fast_forward or delivered_any:
             return rnd + 1
         nxt = self.max_rounds
         for proc in active:

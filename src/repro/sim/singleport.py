@@ -158,11 +158,11 @@ class SinglePortEngine:
         """Execute to completion.
 
         ``observer(rnd, processes)`` is invoked after every executed
-        round (disables fast-forward), mirroring
+        round (disables fast-forward for this call only, without
+        mutating ``self.fast_forward``), mirroring
         :meth:`repro.sim.engine.Engine.run`.
         """
-        if observer is not None:
-            self.fast_forward = False
+        fast_forward = self.fast_forward and observer is None
         for proc in self.processes:
             proc.on_start()
 
@@ -227,7 +227,7 @@ class SinglePortEngine:
                 completed = True
                 break
 
-            rnd = self._advance(rnd, any_send or any_receive)
+            rnd = self._advance(rnd, any_send or any_receive, fast_forward)
         else:
             self.metrics.rounds = self.max_rounds
 
@@ -251,8 +251,8 @@ class SinglePortEngine:
             proc.pid in self.crashed or proc.halted for proc in self.processes
         )
 
-    def _advance(self, rnd: int, active: bool) -> int:
-        if not self.fast_forward or active:
+    def _advance(self, rnd: int, active: bool, fast_forward: bool) -> int:
+        if not fast_forward or active:
             return rnd + 1
         nxt = self.max_rounds
         for proc in self.processes:

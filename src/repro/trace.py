@@ -176,6 +176,12 @@ class Trace:
         ``"net"``, ``"tcp"``); informational.
     max_rounds:
         The recording run's safety bound, reused as the replay default.
+    meta:
+        Free-form JSON-safe annotations bundled into the artifact --
+        :mod:`repro.check` stores the violated oracles, the original
+        (pre-shrink) scenario and the reproduction command here, so one
+        trace file is a complete self-contained bug report.  Never
+        consulted by replay.
     """
 
     def __init__(
@@ -189,6 +195,7 @@ class Trace:
         result: Optional[dict] = None,
         backend: str = "",
         max_rounds: int = 100_000,
+        meta: Optional[dict] = None,
     ):
         self.n = n
         self.byzantine = tuple(sorted(byzantine))
@@ -198,11 +205,12 @@ class Trace:
         self.result = result or {}
         self.backend = backend
         self.max_rounds = max_rounds
+        self.meta = meta or {}
 
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "version": TRACE_VERSION,
             "n": self.n,
             "byzantine": list(self.byzantine),
@@ -213,6 +221,9 @@ class Trace:
             "events": self.events,
             "result": self.result,
         }
+        if self.meta:
+            data["meta"] = self.meta
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Trace":
@@ -256,6 +267,7 @@ class Trace:
             result=data.get("result", {}),
             backend=data.get("backend", ""),
             max_rounds=data.get("max_rounds", 100_000),
+            meta=data.get("meta"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

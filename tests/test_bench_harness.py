@@ -93,6 +93,7 @@ class TestSeries:
             "baselines",
             "net",
             "scenarios",
+            "fuzz",
         }
         assert set(EXPERIMENTS) == expected
 

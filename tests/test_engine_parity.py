@@ -20,22 +20,21 @@ from repro import (
 )
 from repro.baselines import FloodingConsensusProcess
 from repro.bench.workloads import byzantine_sample, input_vector, rumor_vector
+from repro.check.oracles import check_parity
 from repro.sim import Engine, crash_schedule
 from repro.sim.adversary import CrashSpec, ScheduledCrashes
 from repro.sim.process import Multicast, Process, ProtocolError
 
 
 def assert_parity(optimized, reference):
-    """Full observable-equality check between two run results."""
-    assert optimized.metrics.summary() == reference.metrics.summary()
-    assert optimized.metrics.per_node_messages == reference.metrics.per_node_messages
-    assert optimized.metrics.per_node_bits == reference.metrics.per_node_bits
-    assert (
-        optimized.metrics.per_round_messages == reference.metrics.per_round_messages
-    )
-    assert optimized.decisions == reference.decisions
-    assert optimized.crashed == reference.crashed
-    assert optimized.completed == reference.completed
+    """Full observable-equality check between two run results.
+
+    Routed through :func:`repro.check.oracles.check_parity`, the single
+    parity definition shared with the fuzz driver and the bench
+    certification rows -- so what "identical execution" means cannot
+    drift between the test suite and the fuzzing/bench subsystems.
+    """
+    check_parity(optimized, reference, "optimized", "reference")
 
 
 N = 100

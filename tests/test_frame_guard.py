@@ -1,0 +1,132 @@
+"""The codec max-frame guard: corrupt length headers fail fast.
+
+The ``[u32 body_len]`` header can announce up to 4 GiB; one corrupt or
+truncated frame used to make the reader await (and eventually allocate)
+that much.  The guard bounds every announced length *before* the body
+read, on both read loops -- hub ingress and endpoint recv -- failing
+with an error that names the peer and the phase.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import FrameTooLargeError, MAX_FRAME_BYTES, TCPHub, connect_tcp
+from repro.net.codec import HEADER, HELLO, check_frame_size, encode
+from repro.net.transport import TCPEndpoint
+
+
+class TestCheckFrameSize:
+    def test_accepts_reasonable_lengths(self):
+        assert check_frame_size(0, peer="p", phase="x") == 0
+        assert (
+            check_frame_size(MAX_FRAME_BYTES, peer="p", phase="x")
+            == MAX_FRAME_BYTES
+        )
+
+    def test_rejects_oversize_naming_peer_and_phase(self):
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            check_frame_size(
+                2**31,
+                limit=1024,
+                peer="endpoint address 7",
+                phase="hub ingress",
+            )
+        message = str(excinfo.value)
+        assert "endpoint address 7" in message
+        assert "hub ingress" in message
+        assert "1024" in message
+
+    def test_negative_limit_disables_guard(self):
+        assert check_frame_size(2**31, limit=-1, peer="p", phase="x") == 2**31
+
+
+class TestEndpointRecvGuard:
+    def _recv_with_header(self, length, max_frame_bytes):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(HEADER.pack(length, 5) + b"x" * min(length, 8))
+            endpoint = TCPEndpoint(
+                reader, writer=None, address=3, max_frame_bytes=max_frame_bytes
+            )
+            return await endpoint.recv()
+
+        return asyncio.run(scenario())
+
+    def test_oversize_frame_raises_before_body_read(self):
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            self._recv_with_header(2**31, max_frame_bytes=64)
+        message = str(excinfo.value)
+        assert "endpoint 3 recv" in message
+        assert "address 5" in message
+
+    def test_normal_frame_passes(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            body = encode(("ping", 1))
+            reader.feed_data(HEADER.pack(len(body), 2) + body)
+            endpoint = TCPEndpoint(reader, writer=None, address=0)
+            return await endpoint.recv()
+
+        src, obj = asyncio.run(scenario())
+        assert (src, obj) == (2, ("ping", 1))
+
+
+class TestHubIngressGuard:
+    def test_poisoned_connection_dropped_hub_survives(self):
+        """A connection announcing an oversized frame is dropped before
+        the body is read; healthy endpoints keep working."""
+
+        async def scenario():
+            hub = TCPHub("127.0.0.1", 0, max_frame_bytes=1024)
+            await hub.start()
+            try:
+                good_a = await connect_tcp("127.0.0.1", hub.port, 0)
+                good_b = await connect_tcp("127.0.0.1", hub.port, 1)
+                # A raw attacker/corrupt endpoint at address 9.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", hub.port
+                )
+                writer.write(HELLO.pack(9))
+                writer.write(HEADER.pack(2**31, 0))  # 2 GiB announcement
+                await writer.drain()
+                # The hub must close the poisoned connection (EOF), not
+                # wait for 2 GiB.
+                eof = await asyncio.wait_for(reader.read(1), timeout=5.0)
+                assert eof == b""
+                writer.close()
+                # Healthy traffic still flows through the same hub.
+                await good_a.send(1, ("hello", 42))
+                src, obj = await asyncio.wait_for(good_b.recv(), timeout=5.0)
+                assert (src, obj) == (0, ("hello", 42))
+                await good_a.close()
+                await good_b.close()
+            finally:
+                await hub.close()
+
+        asyncio.run(scenario())
+
+    def test_legit_traffic_under_small_limit(self):
+        """Frames under the limit pass untouched even when the limit is
+        tiny -- the guard never rewrites or truncates."""
+
+        async def scenario():
+            hub = TCPHub("127.0.0.1", 0, max_frame_bytes=4096)
+            await hub.start()
+            try:
+                a = await connect_tcp(
+                    "127.0.0.1", hub.port, 0, max_frame_bytes=4096
+                )
+                b = await connect_tcp(
+                    "127.0.0.1", hub.port, 1, max_frame_bytes=4096
+                )
+                payload = ("bulk", list(range(100)))
+                await a.send(1, payload)
+                src, obj = await asyncio.wait_for(b.recv(), timeout=5.0)
+                assert (src, obj) == (0, payload)
+                await a.close()
+                await b.close()
+            finally:
+                await hub.close()
+
+        asyncio.run(scenario())

@@ -67,16 +67,15 @@ def run_all_backends(scenario, n=10):
 
 
 def assert_backend_parity(runs):
+    from repro.check.oracles import check_parity
+
     ref_result, ref_logs = runs["ref"]
     for label in ("opt", "net"):
         result, logs = runs[label]
         assert logs == ref_logs, f"{label} delivered different messages"
-        assert result.metrics.summary() == ref_result.metrics.summary()
-        assert result.metrics.per_node_messages == ref_result.metrics.per_node_messages
-        assert result.metrics.per_round_messages == ref_result.metrics.per_round_messages
-        assert result.decisions == ref_result.decisions
-        assert result.crashed == ref_result.crashed
-        assert result.completed == ref_result.completed
+        # The shared parity oracle (also used by repro.check and the
+        # bench certification rows) covers the metric/decision surface.
+        check_parity(result, ref_result, label, "ref")
     return ref_result, ref_logs
 
 
@@ -265,15 +264,43 @@ class TestChurnSemantics:
         rounds_received = {rnd for rnd, _, _ in logs[0]}
         assert rounds_received == {5, 6, 7, 8}
 
-    def test_terminates_while_churn_node_down(self):
-        # The run ends (everyone else halts) before the rejoin round:
-        # the node stays crashed and the runtime must not hang.
+    def test_pending_rejoin_outlives_other_halts(self):
+        # Everyone else halts before the rejoin round: the run must NOT
+        # end with the rejoin silently skipped -- it idles (fast-forward
+        # jumps straight to the rejoin) until the node is reinstated,
+        # identically on every backend.
         n = 4
         scenario = Scenario(n=n, churn=[ChurnSpec(1, 2, 5_000, 0)])
         runs = run_all_backends(scenario, n)
         result, _ = assert_backend_parity(runs)
         assert result.completed
-        assert result.crashed == {1}
+        assert result.crashed == set()            # the node did come back
+        assert 1 in result.decisions              # ... and ran to completion
+        assert result.metrics.rounds == 5_001     # rejoin round + its last round
+
+    def test_unreachable_rejoin_exhausts_safety_bound(self):
+        # A rejoin scheduled at or beyond max_rounds can never fire: the
+        # run exhausts the safety bound and reports completed=False
+        # instead of pretending the scenario ran to quiescence.
+        n = 4
+        scenario = Scenario(n=n, churn=[ChurnSpec(1, 2, 500, 0)])
+        results = {}
+        for label, runner in (
+            ("opt", lambda p, a: Engine(p, a, max_rounds=100).run()),
+            ("ref", lambda p, a: Engine(p, a, max_rounds=100, optimized=False).run()),
+            ("net", lambda p, a: run_protocol_net(p, a, max_rounds=100)),
+        ):
+            procs = [Chatter(pid, n) for pid in range(n)]
+            results[label] = runner(procs, scenario.adversary())
+        for label, result in results.items():
+            assert not result.completed, label
+            assert result.crashed == {1}, label
+            assert result.metrics.rounds == 100, label
+        assert (
+            results["opt"].metrics.summary()
+            == results["ref"].metrics.summary()
+            == results["net"].metrics.summary()
+        )
 
     def test_fast_forward_does_not_skip_rejoin(self):
         class Sleeper(Chatter):
