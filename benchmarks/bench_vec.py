@@ -1,0 +1,192 @@
+"""Round-kernel throughput: ``backend="vec"`` vs the engine loops.
+
+Measures the *round loop only*: process construction is O(n²) for
+flooding (every process materialises its ``n-1``-destination multicast
+tuple) and identical across backends, so timing it would dilute the
+quantity under test -- the per-round message machinery -- by a constant
+additive term that dominates at ``n = 2000``.  Each measurement builds
+a fresh process vector, starts the clock, runs the engine (or
+``vec_run``), and stops the clock; messages/sec is the run's total
+message count over that window.
+
+Writes the ``BENCH_vec.json`` trajectory artifact (schema validated by
+``tests/test_bench_artifacts.py``)::
+
+    python benchmarks/bench_vec.py                  # full grid -> BENCH_vec.json
+    python benchmarks/bench_vec.py --quick          # small grid, no artifact
+    python benchmarks/bench_vec.py --out path.json
+
+Every row records ``family, n, t, backend, msgs_per_sec, rounds,
+messages, bits, elapsed_sec``; the summary pins the headline ratio
+(vec over sim-opt on flooding at the largest n) that the acceptance
+floor of 5x is checked against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+from repro.api import (
+    build_checkpointing_processes,
+    build_flooding_processes,
+    build_gossip_processes,
+)
+from repro.check.oracles import check_parity
+from repro.sim.adversary import NoFailures
+from repro.sim.engine import Engine
+from repro.sim.vec import vec_run
+
+SCHEMA = "repro-bench-vec/1"
+
+BACKENDS = ("sim-ref", "sim-opt", "vec")
+
+
+def _build(family: str, n: int, t: int):
+    if family == "flooding":
+        inputs = [((7 * i) % 251) - 125 for i in range(n)]
+        processes, _ = build_flooding_processes(inputs, t)
+    elif family == "gossip":
+        rumors = [f"rumor-{i}" for i in range(n)]
+        processes, _ = build_gossip_processes(rumors, t)
+    elif family == "checkpointing":
+        processes, _ = build_checkpointing_processes(n, t)
+    else:
+        raise ValueError(f"unknown family {family!r}")
+    return processes
+
+
+def measure(family: str, n: int, t: int, backend: str) -> dict:
+    """Build fresh processes, then time only the round loop."""
+    processes = _build(family, n, t)
+    adversary = NoFailures()
+    start = time.perf_counter()
+    if backend == "vec":
+        result = vec_run(processes, adversary)
+    else:
+        result = Engine(
+            processes, adversary, optimized=(backend == "sim-opt")
+        ).run()
+    elapsed = time.perf_counter() - start
+    return {
+        "family": family,
+        "n": n,
+        "t": t,
+        "backend": backend,
+        "msgs_per_sec": int(result.messages / max(elapsed, 1e-9)),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "elapsed_sec": round(elapsed, 4),
+        "completed": result.completed,
+    }
+
+
+def run_grid(quick: bool) -> list[dict]:
+    grid: list[tuple[str, int, int, tuple[str, ...]]] = [
+        # sim-ref at n=2000 flooding burns ~20s for a known-parity loop;
+        # the reference point lives at n=500 instead.
+        ("flooding", 500, 3, BACKENDS),
+        ("flooding", 2000, 3, ("sim-opt", "vec")),
+        ("gossip", 480, 48, ("sim-opt", "vec")),
+        ("checkpointing", 240, 24, ("sim-opt", "vec")),
+    ]
+    if quick:
+        grid = [
+            ("flooding", 200, 3, BACKENDS),
+            ("gossip", 120, 12, ("sim-opt", "vec")),
+            ("checkpointing", 60, 6, ("sim-opt", "vec")),
+        ]
+    rows: list[dict] = []
+    for family, n, t, backends in grid:
+        per_backend: dict[str, dict] = {}
+        for backend in backends:
+            row = measure(family, n, t, backend)
+            per_backend[backend] = row
+            rows.append(row)
+            print(
+                f"{family:14s} n={n:5d} t={t:3d} {backend:8s} "
+                f"{row['msgs_per_sec']:>12,} msgs/s "
+                f"({row['elapsed_sec']:.3f}s, {row['messages']:,} msgs)",
+                flush=True,
+            )
+        # cross-backend sanity on the measured runs themselves
+        labels = list(per_backend)
+        for other in labels[1:]:
+            _assert_parity(family, n, t, per_backend[labels[0]],
+                           per_backend[other])
+    return rows
+
+
+def _assert_parity(family, n, t, a, b) -> None:
+    for field in ("rounds", "messages", "bits", "completed"):
+        if a[field] != b[field]:
+            raise AssertionError(
+                f"{family} n={n} t={t}: {a['backend']} {field}="
+                f"{a[field]} != {b['backend']} {field}={b[field]}"
+            )
+
+
+def headline(rows: list[dict]) -> dict:
+    flooding = [r for r in rows if r["family"] == "flooding"]
+    top_n = max(r["n"] for r in flooding)
+    at_top = {r["backend"]: r for r in flooding if r["n"] == top_n}
+    ratio = at_top["vec"]["msgs_per_sec"] / at_top["sim-opt"]["msgs_per_sec"]
+    return {
+        "family": "flooding",
+        "n": top_n,
+        "vec_msgs_per_sec": at_top["vec"]["msgs_per_sec"],
+        "sim_opt_msgs_per_sec": at_top["sim-opt"]["msgs_per_sec"],
+        "speedup_vec_over_sim_opt": round(ratio, 2),
+    }
+
+
+def parity_spotcheck() -> None:
+    """Full-surface parity on a small instance of each family, so the
+    artifact never records throughput of a diverged kernel."""
+    for family, n, t in [
+        ("flooding", 60, 5), ("gossip", 60, 6), ("checkpointing", 60, 6),
+    ]:
+        ref = Engine(_build(family, n, t), NoFailures(), optimized=False).run()
+        vec = vec_run(_build(family, n, t), NoFailures())
+        check_parity(ref, vec, "sim-ref", "vec")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_vec.json",
+                        help="artifact path (default BENCH_vec.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid; skip writing the artifact")
+    args = parser.parse_args(argv)
+
+    parity_spotcheck()
+    rows = run_grid(args.quick)
+    head = headline(rows)
+    print(
+        f"\nheadline: flooding n={head['n']}: vec "
+        f"{head['vec_msgs_per_sec']:,} msgs/s vs sim-opt "
+        f"{head['sim_opt_msgs_per_sec']:,} msgs/s "
+        f"({head['speedup_vec_over_sim_opt']:.1f}x)"
+    )
+    if args.quick:
+        return 0
+    artifact = {
+        "schema": SCHEMA,
+        "generated": date.today().isoformat(),
+        "command": "python benchmarks/bench_vec.py",
+        "python": sys.version.split()[0],
+        "headline": head,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

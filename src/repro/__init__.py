@@ -35,6 +35,7 @@ from repro.api import (
     run_ab_consensus,
     run_checkpointing,
     run_consensus,
+    run_flooding,
     run_gossip,
     run_recipe,
     run_scv,
@@ -71,6 +72,7 @@ __all__ = [
     "run_ab_consensus",
     "run_checkpointing",
     "run_consensus",
+    "run_flooding",
     "run_gossip",
     "run_recipe",
     "run_scv",

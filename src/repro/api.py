@@ -66,6 +66,7 @@ from repro.core.consensus import (
     ManyCrashesConsensusProcess,
     mcc_overlay,
 )
+from repro.baselines.flooding_consensus import FloodingConsensusProcess
 from repro.core.gossip import GossipProcess, gossip_overlay
 from repro.core.params import ProtocolParams
 from repro.core.scv import SCVProcess
@@ -81,6 +82,7 @@ __all__ = [
     "build_aea_processes",
     "build_checkpointing_processes",
     "build_consensus_processes",
+    "build_flooding_processes",
     "build_gossip_processes",
     "build_scv_processes",
     "rebuild_trace_processes",
@@ -89,6 +91,7 @@ __all__ = [
     "run_ab_consensus",
     "run_checkpointing",
     "run_consensus",
+    "run_flooding",
     "run_gossip",
     "run_scv",
 ]
@@ -194,6 +197,18 @@ def _execute(
             optimized=optimized,
             recorder=recorder,
         ).run()
+    elif backend == "vec":
+        from repro.sim.vec import vec_run
+
+        result = vec_run(
+            processes,
+            adversary,
+            byzantine=byzantine,
+            max_rounds=max_rounds,
+            fast_forward=fast_forward,
+            optimized=optimized,
+            recorder=recorder,
+        )
     elif backend in ("net", "tcp"):
         from repro.net import run_protocol_net
 
@@ -208,7 +223,8 @@ def _execute(
         )
     else:
         raise ValueError(
-            f"unknown backend {backend!r}; choose 'sim', 'net' or 'tcp'"
+            f"unknown backend {backend!r}; "
+            "choose 'sim', 'vec', 'net' or 'tcp'"
         )
 
     if checker is not None:
@@ -375,6 +391,29 @@ def build_ab_consensus_processes(
     return processes, 1
 
 
+def build_flooding_processes(
+    inputs: Sequence[int], t: int
+) -> tuple[list[Process], int]:
+    """Flooding-consensus baseline process vector; see
+    :func:`build_consensus_processes` for the contract.
+
+    The classical ``t + 1``-round flood (every node multicasts its
+    minimum to everyone, every round): quadratic communication, any
+    ``t < n``.  It is the textbook baseline the paper's linear
+    protocols are measured against, and the most regular family the
+    ``backend="vec"`` kernels accelerate.
+    """
+    n = len(inputs)
+    if not 0 <= t < n:
+        raise ValueError(
+            f"flooding consensus requires 0 <= t < n, got t={t}, n={n}"
+        )
+    processes: list[Process] = [
+        FloodingConsensusProcess(pid, n, t, inputs[pid]) for pid in range(n)
+    ]
+    return processes, t + 1
+
+
 # -- entry points ------------------------------------------------------------
 
 
@@ -447,6 +486,46 @@ def run_consensus(
             "t": t,
             "algorithm": algorithm,
             "overlay_seed": overlay_seed,
+        },
+    )
+
+
+def run_flooding(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
+    seed: int = 0,
+    max_rounds: int = 100_000,
+    fast_forward: bool = True,
+    optimized: bool = True,
+    backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
+) -> RunResult:
+    """Baseline flooding consensus (``t + 1`` min-broadcast rounds).
+
+    The quadratic-communication comparator for Table 1; any ``t < n``.
+    No overlay graphs are involved, so there is no ``overlay_seed``.
+    """
+    n = len(inputs)
+    processes, horizon = build_flooding_processes(inputs, t)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        fast_forward=fast_forward,
+        optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        protocol={
+            "name": "flooding",
+            "inputs": list(inputs),
+            "t": t,
         },
     )
 
@@ -691,6 +770,9 @@ def rebuild_trace_processes(
             overlay_seed=overlay_seed,
         )
         return processes, frozenset()
+    if name == "flooding":
+        processes, _ = build_flooding_processes(recipe["inputs"], recipe["t"])
+        return processes, frozenset()
     if name == "aea":
         processes, _ = build_aea_processes(
             recipe["inputs"], recipe["t"], overlay_seed=overlay_seed
@@ -758,6 +840,8 @@ def run_recipe(protocol: dict, **execution) -> RunResult:
             overlay_seed=overlay_seed,
             **execution,
         )
+    if name == "flooding":
+        return run_flooding(recipe["inputs"], recipe["t"], **execution)
     if name == "aea":
         return run_aea(
             recipe["inputs"], recipe["t"], overlay_seed=overlay_seed, **execution
@@ -813,10 +897,13 @@ _EXECUTION_DOC = """
         way (pinned by tests).
     backend:
         Execution substrate: ``"sim"`` (lock-step
-        :class:`~repro.sim.engine.Engine`, default), ``"net"`` (asyncio
-        runtime over the in-memory hub) or ``"tcp"`` (asyncio runtime
-        over loopback sockets).  All three produce identical metrics,
-        decisions and crash sets for the same fault schedule.
+        :class:`~repro.sim.engine.Engine`, default), ``"vec"``
+        (numpy structure-of-arrays kernels for the regular families,
+        engine fallback otherwise; requires the ``[vec]`` extra),
+        ``"net"`` (asyncio runtime over the in-memory hub) or ``"tcp"``
+        (asyncio runtime over loopback sockets).  All backends produce
+        identical metrics, decisions and crash sets for the same fault
+        schedule.
     optimized:
         Round-loop selection for the sim backend: the batched hot path
         (default) or the straight-line reference loop; ignored by
@@ -839,6 +926,7 @@ _EXECUTION_DOC = """
 
 for _entry_point in (
     run_consensus,
+    run_flooding,
     run_aea,
     run_scv,
     run_gossip,

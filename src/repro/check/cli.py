@@ -35,8 +35,10 @@ from repro.check.shrink import emit_artifact, shrink_scenario
 __all__ = ["main"]
 
 #: Replay backends the driver understands (the primary is always
-#: sim-opt); validated at argument-parse time.
-KNOWN_BACKENDS = ("sim-ref", "net", "tcp")
+#: sim-opt); validated at argument-parse time.  ``vec`` joins the
+#: default rotation automatically for kernel families when numpy is
+#: installed; naming it here forces it for every config instead.
+KNOWN_BACKENDS = ("sim-ref", "net", "tcp", "vec")
 
 
 def _parse_args(argv) -> argparse.Namespace:

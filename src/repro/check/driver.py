@@ -29,9 +29,15 @@ from typing import Optional, Sequence
 
 from repro import api
 from repro.bench.sweep import SweepSpec, derive_seed
-from repro.check.oracles import in_crash_model, run_oracles
+from repro.check.oracles import (
+    OracleViolation,
+    check_parity,
+    in_crash_model,
+    run_oracles,
+)
 from repro.core.params import ProtocolParams
 from repro.scenarios import Scenario, scenario_schedule
+from repro.sim.vec import HAVE_NUMPY, KERNEL_FAMILIES
 from repro.trace import TraceDivergence, replay_trace
 
 __all__ = [
@@ -53,6 +59,7 @@ FAMILIES = (
     "gossip",
     "checkpointing",
     "ab-consensus",
+    "flooding",
 )
 
 #: Default replay backends for differential comparison; ``tcp`` joins
@@ -139,6 +146,11 @@ def _sample_instance(family: str, rng: random.Random, seed: int) -> dict:
             "byzantine": byz,
             "behaviour": rng.choice(("silent", "equivocate", "spam")),
         }
+    if family == "flooding":
+        n = rng.randrange(20, 57)
+        t = rng.randrange(1, max(2, n // 4))
+        inputs = [rng.randrange(0, 2**16) for _ in range(n)]
+        return {"name": "flooding", "inputs": inputs, "t": t}
     raise ValueError(f"unknown family {family!r}")
 
 
@@ -163,6 +175,8 @@ def _fault_horizon(family: str, params: ProtocolParams) -> int:
         return params.gossip_phase_count * (2 + params.little_probe_rounds)
     if family == "ab-consensus":
         return 8
+    if family == "flooding":
+        return params.t + 1
     raise ValueError(f"unknown family {family!r}")
 
 
@@ -228,6 +242,15 @@ def sample_config(
     # a few hundred rounds and reports completed=False instead of
     # stalling the fuzzer at an engine-default six-figure bound.
     max_rounds = 4 * horizon + 4 * n + 64
+    backends = tuple(backends)
+    if (
+        backends == DEFAULT_BACKENDS
+        and family in KERNEL_FAMILIES
+        and HAVE_NUMPY
+    ):
+        # Kernel families additionally run on the vectorized backend and
+        # must match the primary run on the full parity surface.
+        backends = backends + ("vec",)
     return FuzzConfig(
         index=index,
         seed=seed,
@@ -236,7 +259,7 @@ def sample_config(
         scenario=scenario,
         kind=kind,
         max_rounds=max_rounds,
-        backends=tuple(backends),
+        backends=backends,
         info={"horizon": horizon, "event_window": window},
     )
 
@@ -277,9 +300,19 @@ def run_config(config: FuzzConfig) -> dict:
                 replay_trace(trace, backend="sim", optimized=False)
             elif backend in ("net", "tcp"):
                 replay_trace(trace, backend=backend)
+            elif backend == "vec":
+                # A replay would route through the engine fallback, so
+                # run the kernel path independently (the fault schedule
+                # is pure data) and compare the full parity surface.
+                vec_result = api.run_recipe(
+                    config.recipe,
+                    backend="vec",
+                    **_execution_kwargs(config),
+                )
+                check_parity(primary, vec_result, "sim-opt", "vec")
             else:
                 raise ValueError(f"unknown replay backend {backend!r}")
-        except TraceDivergence as exc:
+        except (TraceDivergence, OracleViolation) as exc:
             violations.append(
                 {"oracle": f"parity:{backend}", "detail": str(exc)}
             )

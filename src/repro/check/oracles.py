@@ -104,7 +104,7 @@ def check_parity(a, b, a_label: str = "a", b_label: str = "b") -> None:
 
 def _safety_check(recipe: dict, result) -> None:
     name = recipe.get("name")
-    if name in ("consensus", "ab_consensus"):
+    if name in ("consensus", "ab_consensus", "flooding"):
         check_consensus(result, recipe["inputs"])
     elif name == "aea":
         check_aea(result, recipe["inputs"])
@@ -225,6 +225,7 @@ BOUND_CONSTANTS: dict[str, tuple[str, float]] = {
     "gossip": ("messages", 6.0),
     "checkpointing": ("messages", 6.0),
     "ab-consensus": ("messages", 150.0),
+    "flooding": ("messages", 2.0),
 }
 
 #: Slack added to the failure-free round count: the paper's running
@@ -273,6 +274,9 @@ def _comm_envelope(family: str, params: ProtocolParams) -> float:
         return 8.0 * n + 2.0 * params.gossip_phase_count * per_phase + probing
     if family == "ab-consensus":
         return float(t * t + n)
+    if family == "flooding":
+        # Every operational node multicasts to everyone for t + 1 rounds.
+        return float(n * n * (t + 1))
     raise ValueError(f"no communication envelope for family {family!r}")
 
 

@@ -1,0 +1,367 @@
+"""The vectorized round loop and its shared kernel machinery.
+
+:class:`VecEngine` is a clone of the reference loop in
+:mod:`repro.sim.engine` with the per-process send/receive phases
+replaced by one :meth:`Kernel.step` call per round.  Everything the
+engine observes -- rejoin-before-crash ordering, the crash-round
+partial-send ``keep`` budget, link filtering with drop accounting,
+termination, fast-forward and the everyone-crashed fixup -- is
+reproduced here so that :func:`repro.check.oracles.check_parity`
+holds field-for-field against both engine paths.
+
+A :class:`Kernel` owns all protocol state as numpy arrays and exposes
+five operations:
+
+* ``step(rnd, senders, receivers, keep, blocked, sink)`` -- execute one
+  round for the boolean ``senders``/``receivers`` masks, honouring the
+  ``keep`` partial-send budgets (pid -> remaining messages) and the
+  ``blocked`` link mask, recording traffic into the sink; returns
+  whether any message was delivered post-filter;
+* ``reset_nodes(pids)`` -- churn rejoin: restore the listed nodes to
+  their initial state (the engine restores an ``on_start`` snapshot);
+* ``next_wake(rnd, active)`` -- earliest spontaneous activity among the
+  active nodes, mirroring ``Process.next_activity`` for fast-forward;
+* ``decisions()`` / ``finalize(processes)`` -- export decisions and
+  write terminal state back onto the original process objects so
+  :class:`~repro.sim.engine.RunResult` consumers see the usual surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.adversary import CrashAdversary
+from repro.sim.engine import RunResult, check_pid_order
+from repro.sim.metrics import Metrics
+from repro.sim.process import Process, ProtocolError
+
+__all__ = [
+    "Kernel",
+    "VecEngine",
+    "VecMetricsSink",
+    "apply_blocked",
+    "bit_length_array",
+    "bool_transport",
+    "build_kernel",
+    "keep_prefix",
+]
+
+_SHIFTS = (32, 16, 8, 4, 2, 1)
+
+
+def bit_length_array(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``int.bit_length`` of a non-negative integer array.
+
+    Binary-search by doubling shifts: six masked shift/accumulate passes
+    cover the full 64-bit range, so the cost is O(n) array ops rather
+    than a Python loop over elements.
+    """
+    v = values.astype(np.uint64, copy=True)
+    out = np.zeros(v.shape, dtype=np.int64)
+    for shift in _SHIFTS:
+        threshold = np.uint64(1) << np.uint64(shift)
+        big = v >= threshold
+        out[big] += shift
+        v[big] >>= np.uint64(shift)
+    out += v.astype(np.int64)  # remaining value is 0 or 1
+    return out
+
+
+def bool_transport(received: np.ndarray, payload: np.ndarray) -> np.ndarray:
+    """``received.T @ payload`` on the OR-AND semiring.
+
+    The set-transport product of every kernel receive phase: cell
+    ``(q, m)`` is True iff some sender whose message reached ``q``
+    carried member ``m``.  Restricted to senders with a non-empty
+    payload row (probe deltas are usually sparse) and computed through
+    float32 BLAS -- numpy's boolean matmul is a non-BLAS loop an order
+    of magnitude slower at committee sizes.  Exact: per-cell match
+    counts are bounded by n, far below float32's 2**24 integer range.
+    """
+    n = received.shape[1]
+    rows = received.any(axis=1) & payload.any(axis=1)
+    idx = np.nonzero(rows)[0]
+    if idx.size == 0:
+        return np.zeros((n, payload.shape[1]), dtype=bool)
+    lhs = received[idx].astype(np.float32)
+    rhs = payload[idx].astype(np.float32)
+    return (lhs.T @ rhs) > 0.5
+
+
+def keep_prefix(row: np.ndarray, keep: int) -> None:
+    """Truncate a boolean destination row to its first ``keep`` entries.
+
+    Kernel send groups list destinations in ascending pid order, so the
+    crash-round partial send (deliver the first ``keep`` point-to-point
+    messages in the node's own send order) is exactly a prefix of the
+    attempt row.
+    """
+    if keep <= 0:
+        row[:] = False
+        return
+    idx = np.nonzero(row)[0]
+    if idx.size > keep:
+        row[idx[keep:]] = False
+
+
+def apply_blocked(
+    matrix: np.ndarray,
+    blocked: Mapping[int, frozenset[int]],
+    sink: "VecMetricsSink",
+) -> None:
+    """Remove blocked links from an attempt matrix, tallying drops.
+
+    Mirrors :func:`repro.sim.engine.apply_link_filter`: a drop is an
+    *attempted* message (post ``keep`` truncation) removed in transit,
+    counted only for senders that actually attempted it this round.
+    """
+    n = matrix.shape[0]
+    for src, dsts in blocked.items():
+        if not dsts or not (0 <= src < n):
+            continue
+        row = matrix[src]
+        cols = [dst for dst in dsts if 0 <= dst < n and row[dst]]
+        if cols:
+            row[cols] = False
+            sink.add_drops(len(cols))
+
+
+class VecMetricsSink:
+    """Array-shaped accumulator that exports an exact :class:`Metrics`.
+
+    Senders' counts and bits accumulate in ``int64`` arrays; per-round
+    totals in a plain dict of Python ints.  ``to_metrics`` materialises
+    Counters holding only nonzero Python-int entries, matching what the
+    engine's ``record_send`` calls would have produced.
+    """
+
+    def __init__(self, n: int) -> None:
+        self._messages = np.zeros(n, dtype=np.int64)
+        self._bits = np.zeros(n, dtype=np.int64)
+        self._per_round: dict[int, int] = {}
+        self._dropped = 0
+
+    def add_array(
+        self, rnd: int, counts: np.ndarray, bits: np.ndarray
+    ) -> None:
+        """Record one round of per-sender message counts and bits."""
+        self._messages += counts
+        self._bits += bits
+        total = int(counts.sum())
+        if total:
+            self._per_round[rnd] = self._per_round.get(rnd, 0) + total
+
+    def add_drops(self, count: int) -> None:
+        self._dropped += count
+
+    def to_metrics(self, rounds: int) -> Metrics:
+        metrics = Metrics()
+        metrics.rounds = rounds
+        metrics.messages = int(self._messages.sum())
+        metrics.bits = int(self._bits.sum())
+        metrics.dropped_messages = self._dropped
+        for pid in np.nonzero(self._messages)[0]:
+            metrics.per_node_messages[int(pid)] = int(self._messages[pid])
+        for pid in np.nonzero(self._bits)[0]:
+            metrics.per_node_bits[int(pid)] = int(self._bits[pid])
+        for rnd in sorted(self._per_round):
+            metrics.per_round_messages[rnd] = self._per_round[rnd]
+        return metrics
+
+
+class Kernel:
+    """Interface every per-family step kernel implements.
+
+    ``halted`` is a boolean array the engine reads for termination and
+    sender eligibility; the kernel owns all other protocol state.
+    """
+
+    halted: np.ndarray
+
+    def step(
+        self,
+        rnd: int,
+        senders: np.ndarray,
+        receivers: np.ndarray,
+        keep: Mapping[int, int],
+        blocked: Optional[Mapping[int, frozenset[int]]],
+        sink: VecMetricsSink,
+    ) -> bool:
+        raise NotImplementedError
+
+    def reset_nodes(self, pids: Sequence[int]) -> None:
+        raise NotImplementedError
+
+    def next_wake(self, rnd: int, active: np.ndarray) -> int:
+        raise NotImplementedError
+
+    def finalize(self, processes: Sequence[Process]) -> None:
+        raise NotImplementedError
+
+
+def build_kernel(processes: Sequence[Process]) -> Optional[Kernel]:
+    """Build the step kernel for a homogeneous kernel-family vector.
+
+    Returns ``None`` (caller falls back to the engine) when the vector
+    is empty, mixes process types, is not a kernel family, or a family
+    factory declines the concrete instances (e.g. flooding inputs that
+    are not plain machine-width ints).
+    """
+    if not processes:
+        return None
+    first_type = type(processes[0])
+    if any(type(proc) is not first_type for proc in processes):
+        return None
+
+    from repro.baselines.flooding_consensus import FloodingConsensusProcess
+
+    if first_type is FloodingConsensusProcess:
+        from repro.sim.vec.flooding import FloodingKernel
+
+        return FloodingKernel.build(processes)
+
+    from repro.core.gossip import GossipProcess
+
+    if first_type is GossipProcess:
+        from repro.sim.vec.gossip import GossipKernel
+
+        return GossipKernel.build(processes)
+
+    from repro.core.checkpointing import CheckpointingProcess
+
+    if first_type is CheckpointingProcess:
+        from repro.sim.vec.checkpointing import CheckpointingKernel
+
+        return CheckpointingKernel.build(processes)
+
+    return None
+
+
+class VecEngine:
+    """Structure-of-arrays clone of the reference engine loop."""
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        adversary: CrashAdversary,
+        kernel: Kernel,
+        *,
+        max_rounds: int = 100_000,
+        fast_forward: bool = True,
+    ) -> None:
+        check_pid_order(processes)
+        self.processes = list(processes)
+        self.n = len(self.processes)
+        self.adversary = adversary
+        self.kernel = kernel
+        self.max_rounds = max_rounds
+        self.fast_forward = fast_forward
+        self.round = 0
+        self.crashed_mask = np.zeros(self.n, dtype=bool)
+        self.sink = VecMetricsSink(self.n)
+
+    # CrashAdversary.crashes_for_round receives the engine; keep the
+    # small surface adaptive adversaries would touch, although kernel
+    # dispatch only admits oblivious adversary types.
+    def operational(self, pid: int) -> bool:
+        return not bool(self.crashed_mask[pid])
+
+    def run(self) -> RunResult:
+        n = self.n
+        adversary = self.adversary
+        kernel = self.kernel
+        crashed = self.crashed_mask
+        for pid in adversary.rejoin_pids():
+            if not (0 <= pid < n):
+                raise ProtocolError(
+                    f"rejoin scheduled for invalid pid {pid}"
+                )
+        rnd = 0
+        completed = False
+        exhausted = True
+        last_active_round = -1
+        rounds_metric = self.max_rounds
+        while rnd < self.max_rounds:
+            self.round = rnd
+            scheduled = adversary.rejoins_for_round(rnd)
+            rejoining = (
+                sorted(pid for pid in scheduled if crashed[pid])
+                if scheduled
+                else []
+            )
+            if rejoining:
+                kernel.reset_nodes(rejoining)
+                crashed[rejoining] = False
+            crashing = adversary.crashes_for_round(rnd, self)
+            blocked = adversary.blocked_links(rnd)
+            senders = ~crashed & ~kernel.halted
+            if crashing:
+                actually_crashing = [
+                    pid for pid in crashing if senders[pid]
+                ]
+            else:
+                actually_crashing = []
+            keep = {
+                pid: crashing[pid]
+                for pid in actually_crashing
+                if crashing[pid] is not None
+            }
+            receivers = senders
+            if actually_crashing:
+                receivers = senders.copy()
+                receivers[actually_crashing] = False
+            delivered_any = kernel.step(
+                rnd, senders, receivers, keep, blocked, self.sink
+            )
+            if actually_crashing:
+                crashed[actually_crashing] = True
+            if delivered_any:
+                last_active_round = rnd
+            if not np.any(
+                ~crashed & ~kernel.halted
+            ) and not self._rejoin_pending(rnd):
+                rounds_metric = rnd + 1
+                completed = True
+                exhausted = False
+                break
+            rnd = self._advance(rnd, delivered_any)
+        if exhausted:
+            rounds_metric = self.max_rounds
+        if not completed and bool(crashed.all()):
+            # Everyone crashed: report the last round with traffic.
+            completed = True
+            rounds_metric = max(last_active_round + 1, 0)
+        metrics = self.sink.to_metrics(rounds_metric)
+        crashed_set = {int(pid) for pid in np.nonzero(crashed)[0]}
+        kernel.finalize(self.processes)
+        result = RunResult(
+            processes=self.processes,
+            metrics=metrics,
+            crashed=crashed_set,
+            byzantine=frozenset(),
+            completed=completed,
+        )
+        for proc in self.processes:
+            if proc.decided:
+                result.decisions[proc.pid] = proc.decision
+        return result
+
+    def _advance(self, rnd: int, delivered_any: bool) -> int:
+        if not self.fast_forward or delivered_any:
+            return rnd + 1
+        active = ~self.crashed_mask & ~self.kernel.halted
+        nxt = self.max_rounds
+        if active.any():
+            nxt = min(nxt, self.kernel.next_wake(rnd, active))
+        crash_event = self.adversary.next_event_round(rnd)
+        if crash_event is not None:
+            nxt = min(nxt, max(crash_event, rnd + 1))
+        return max(rnd + 1, nxt)
+
+    def _rejoin_pending(self, rnd: int) -> bool:
+        for pid in np.nonzero(self.crashed_mask)[0]:
+            if self.adversary.next_rejoin(int(pid), rnd) is not None:
+                return True
+        return False

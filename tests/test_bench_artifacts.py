@@ -1,0 +1,97 @@
+"""Schema validation for checked-in ``BENCH_*.json`` trajectory files.
+
+The repository records benchmark trajectories as committed artifacts so
+performance claims are inspectable data, not prose.  This test pins the
+artifact contract: if ``benchmarks/bench_vec.py`` (or a future
+``BENCH_*`` producer) drifts from the schema, or someone edits the
+checked-in file by hand into an inconsistent state, the suite fails.
+Pure JSON validation -- no numpy, no benchmark execution -- so it runs
+on a bare install.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ROW_FIELDS = {
+    "family": str,
+    "n": int,
+    "t": int,
+    "backend": str,
+    "msgs_per_sec": int,
+    "rounds": int,
+    "messages": int,
+    "bits": int,
+    "elapsed_sec": float,
+    "completed": bool,
+}
+
+KNOWN_BACKENDS = {"sim-ref", "sim-opt", "vec"}
+
+
+def artifacts():
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def test_trajectory_artifacts_exist():
+    names = [path.name for path in artifacts()]
+    assert "BENCH_vec.json" in names
+
+
+@pytest.mark.parametrize(
+    "path", artifacts(), ids=lambda p: p.name
+)
+def test_artifact_schema(path):
+    data = json.loads(path.read_text())
+    assert data["schema"].startswith("repro-bench-"), data["schema"]
+    assert data["rows"], "artifact has no measurement rows"
+    for row in data["rows"]:
+        for field, kind in ROW_FIELDS.items():
+            assert field in row, f"{path.name}: row missing {field!r}"
+            assert isinstance(row[field], kind), (
+                f"{path.name}: {field}={row[field]!r} is not {kind.__name__}"
+            )
+        assert row["backend"] in KNOWN_BACKENDS
+        assert row["n"] > 0 and row["rounds"] > 0
+        assert row["msgs_per_sec"] > 0 and row["messages"] > 0
+
+
+@pytest.mark.parametrize(
+    "path", artifacts(), ids=lambda p: p.name
+)
+def test_artifact_backends_agree_per_instance(path):
+    """Rows for the same (family, n, t) must report identical protocol
+    metrics across backends -- throughput may differ, executions not."""
+    data = json.loads(path.read_text())
+    by_instance: dict[tuple, dict] = {}
+    for row in data["rows"]:
+        key = (row["family"], row["n"], row["t"])
+        metrics = (row["rounds"], row["messages"], row["bits"],
+                   row["completed"])
+        if key in by_instance:
+            assert by_instance[key] == metrics, (
+                f"{path.name}: backends disagree on {key}"
+            )
+        else:
+            by_instance[key] = metrics
+
+
+def test_vec_headline_meets_speedup_floor():
+    """The acceptance floor: vec beats the optimized engine by >= 5x
+    msgs/sec on flooding at the largest measured n."""
+    data = json.loads((REPO_ROOT / "BENCH_vec.json").read_text())
+    head = data["headline"]
+    assert head["family"] == "flooding"
+    assert head["n"] >= 2000
+    assert head["speedup_vec_over_sim_opt"] >= 5.0
+    # headline must be derivable from the rows it summarises
+    rows = {
+        row["backend"]: row
+        for row in data["rows"]
+        if row["family"] == "flooding" and row["n"] == head["n"]
+    }
+    assert rows["vec"]["msgs_per_sec"] == head["vec_msgs_per_sec"]
+    assert rows["sim-opt"]["msgs_per_sec"] == head["sim_opt_msgs_per_sec"]

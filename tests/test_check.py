@@ -50,12 +50,17 @@ class TestSampling:
         assert seen == set(FAMILIES)
 
     def test_configs_are_valid(self):
+        from repro.sim.vec import HAVE_NUMPY, KERNEL_FAMILIES
+
         for index in range(len(FAMILIES)):
             config = sample_config(1, index)
             if config.scenario is not None:
                 config.scenario.validate()
             assert config.max_rounds > 0
-            assert config.backends == DEFAULT_BACKENDS
+            if config.family in KERNEL_FAMILIES and HAVE_NUMPY:
+                assert config.backends == DEFAULT_BACKENDS + ("vec",)
+            else:
+                assert config.backends == DEFAULT_BACKENDS
 
     def test_global_random_untouched(self):
         import random
