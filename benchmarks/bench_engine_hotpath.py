@@ -6,13 +6,34 @@ isolates the engine's per-message costs — inbox appends, payload-bits
 accounting, metric tallies — from protocol logic.  The parity tests
 guarantee both loops produce identical metrics; this file measures the
 speed gap and records messages/sec in ``benchmark.extra_info``.
+
+Run as a script it writes the ``BENCH_engine.json`` trajectory artifact
+(same row schema as ``BENCH_vec.json``, validated by
+``tests/test_bench_artifacts.py``)::
+
+    python benchmarks/bench_engine_hotpath.py           # -> BENCH_engine.json
+    python benchmarks/bench_engine_hotpath.py --quick   # small grid, no artifact
+
+Besides the backend rows the artifact records a ``telemetry`` section:
+the same flooding workload timed with the :mod:`repro.obs` recorder off
+and on, pinning the zero-overhead-when-disabled claim as data (the
+disabled path is also checked structurally by ``tests/test_obs.py``).
 """
+
+import argparse
+import json
+import sys
+import time
+from datetime import date
+from pathlib import Path
 
 import pytest
 
 from repro import check_consensus
 from repro.baselines import FloodingConsensusProcess
 from repro.sim import Engine, crash_schedule
+
+SCHEMA = "repro-bench-engine/1"
 
 
 def _flooding_run(n: int, t: int, optimized: bool):
@@ -58,3 +79,163 @@ def test_multicast_fanout_throughput(benchmark, optimized):
     benchmark.extra_info.update(
         {"optimized": optimized, "messages": result.messages}
     )
+
+
+# -- standalone artifact producer (python benchmarks/bench_engine_hotpath.py) --
+
+
+def _build(family: str, n: int, t: int):
+    if family == "flooding":
+        return [FloodingConsensusProcess(i, n, t, i % 2) for i in range(n)]
+    if family == "gossip":
+        from repro.api import build_gossip_processes
+
+        processes, _ = build_gossip_processes([f"rumor-{i}" for i in range(n)], t)
+        return processes
+    raise ValueError(f"unknown family {family!r}")
+
+
+def measure(family: str, n: int, t: int, backend: str, telemetry=None) -> dict:
+    """Build fresh processes, then time only the round loop."""
+    processes = _build(family, n, t)
+    adversary = (
+        crash_schedule(n, t, seed=1, max_round=t + 1)
+        if family == "flooding"
+        else None
+    )
+    start = time.perf_counter()
+    result = Engine(
+        processes,
+        adversary,
+        optimized=(backend == "sim-opt"),
+        telemetry=telemetry,
+    ).run()
+    elapsed = time.perf_counter() - start
+    return {
+        "family": family,
+        "n": n,
+        "t": t,
+        "backend": backend,
+        "msgs_per_sec": int(result.messages / max(elapsed, 1e-9)),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "elapsed_sec": round(elapsed, 4),
+        "completed": result.completed,
+    }
+
+
+def run_grid(quick: bool) -> list[dict]:
+    grid: list[tuple[str, int, int]] = [
+        ("flooding", 500, 3),
+        ("flooding", 2000, 3),
+        ("gossip", 480, 48),
+    ]
+    if quick:
+        grid = [("flooding", 200, 3), ("gossip", 120, 12)]
+    rows: list[dict] = []
+    for family, n, t in grid:
+        per_backend: dict[str, dict] = {}
+        for backend in ("sim-ref", "sim-opt"):
+            row = measure(family, n, t, backend)
+            per_backend[backend] = row
+            rows.append(row)
+            print(
+                f"{family:10s} n={n:5d} t={t:3d} {backend:8s} "
+                f"{row['msgs_per_sec']:>12,} msgs/s "
+                f"({row['elapsed_sec']:.3f}s, {row['messages']:,} msgs)",
+                flush=True,
+            )
+        for field in ("rounds", "messages", "bits", "completed"):
+            if per_backend["sim-ref"][field] != per_backend["sim-opt"][field]:
+                raise AssertionError(
+                    f"{family} n={n} t={t}: loops disagree on {field}: "
+                    f"{per_backend['sim-ref'][field]} != "
+                    f"{per_backend['sim-opt'][field]}"
+                )
+    return rows
+
+
+def headline(rows: list[dict]) -> dict:
+    flooding = [r for r in rows if r["family"] == "flooding"]
+    top_n = max(r["n"] for r in flooding)
+    at_top = {r["backend"]: r for r in flooding if r["n"] == top_n}
+    ratio = at_top["sim-opt"]["msgs_per_sec"] / at_top["sim-ref"]["msgs_per_sec"]
+    return {
+        "family": "flooding",
+        "n": top_n,
+        "sim_opt_msgs_per_sec": at_top["sim-opt"]["msgs_per_sec"],
+        "sim_ref_msgs_per_sec": at_top["sim-ref"]["msgs_per_sec"],
+        "speedup_opt_over_ref": round(ratio, 2),
+    }
+
+
+def telemetry_overhead(n: int = 500, t: int = 3) -> dict:
+    """Flooding on sim-opt with the obs recorder off vs on.
+
+    The disabled path is the zero-overhead claim (``telemetry=None``
+    normalises to no recorder at all); the enabled path shows what full
+    span recording costs, for calibrating profiling runs.  One warm-up
+    run, then best-of-three per arm with the arms interleaved -- the
+    first executions pay allocator/cache warm-up, and attributing that
+    to whichever arm happens to run first would bias the ratio.
+    """
+    measure("flooding", n, t, "sim-opt")
+    off_times, on_times = [], []
+    for _ in range(3):
+        off_times.append(measure("flooding", n, t, "sim-opt")["elapsed_sec"])
+        on_times.append(
+            measure("flooding", n, t, "sim-opt", telemetry=True)["elapsed_sec"]
+        )
+    off, on = min(off_times), min(on_times)
+    return {
+        "family": "flooding",
+        "n": n,
+        "t": t,
+        "backend": "sim-opt",
+        "disabled_sec": off,
+        "enabled_sec": on,
+        "enabled_over_disabled": round(on / max(off, 1e-9), 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="artifact path (default BENCH_engine.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid; skip writing the artifact")
+    args = parser.parse_args(argv)
+
+    rows = run_grid(args.quick)
+    head = headline(rows)
+    overhead = telemetry_overhead(*((200, 3) if args.quick else (500, 3)))
+    print(
+        f"\nheadline: flooding n={head['n']}: sim-opt "
+        f"{head['sim_opt_msgs_per_sec']:,} msgs/s vs sim-ref "
+        f"{head['sim_ref_msgs_per_sec']:,} msgs/s "
+        f"({head['speedup_opt_over_ref']:.1f}x)"
+    )
+    print(
+        f"telemetry: disabled {overhead['disabled_sec']:.3f}s, enabled "
+        f"{overhead['enabled_sec']:.3f}s "
+        f"({overhead['enabled_over_disabled']:.2f}x)"
+    )
+    if args.quick:
+        return 0
+    artifact = {
+        "schema": SCHEMA,
+        "generated": date.today().isoformat(),
+        "command": "python benchmarks/bench_engine_hotpath.py",
+        "python": sys.version.split()[0],
+        "headline": head,
+        "telemetry": overhead,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

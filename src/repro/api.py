@@ -71,6 +71,7 @@ from repro.core.gossip import GossipProcess, gossip_overlay
 from repro.core.params import ProtocolParams
 from repro.core.scv import SCVProcess
 from repro.graphs.families import spread_graph
+from repro.obs.recorder import coerce_recorder
 from repro.scenarios import Scenario
 from repro.sim.adversary import CrashAdversary, NoFailures, crash_schedule
 from repro.sim.engine import Engine, RunResult
@@ -148,6 +149,7 @@ def _execute(
     replay: Optional[Any] = None,
     protocol: Optional[dict] = None,
     scenario: Optional[Scenario] = None,
+    telemetry: Any = None,
 ) -> RunResult:
     """Dispatch one execution to the selected backend.
 
@@ -159,10 +161,16 @@ def _execute(
     :class:`~repro.trace.TraceChecker`.  ``protocol`` is the JSON-safe
     rebuild recipe recorded into traces so
     :func:`repro.trace.replay_trace` can reconstruct the processes
-    standalone.
+    standalone.  ``telemetry`` enables wall-clock instrumentation
+    (:mod:`repro.obs`): the substrate seals a
+    :class:`~repro.obs.RunTelemetry` onto ``result.telemetry``, and a
+    path value additionally writes the artifact there (suffix picks the
+    format: ``.jsonl`` event log, ``.trace.json`` Chrome trace, else
+    telemetry JSON).
     """
     checker: Optional[TraceChecker] = None
     recorder = None
+    tel = coerce_recorder(telemetry)
     if replay is not None and record_trace:
         raise ValueError(
             "record_trace and replay are mutually exclusive: a replay is "
@@ -196,6 +204,7 @@ def _execute(
             fast_forward=fast_forward,
             optimized=optimized,
             recorder=recorder,
+            telemetry=tel,
         ).run()
     elif backend == "vec":
         from repro.sim.vec import vec_run
@@ -208,6 +217,7 @@ def _execute(
             fast_forward=fast_forward,
             optimized=optimized,
             recorder=recorder,
+            telemetry=tel,
         )
     elif backend in ("net", "tcp"):
         from repro.net import run_protocol_net
@@ -220,6 +230,7 @@ def _execute(
             fast_forward=fast_forward,
             transport="memory" if backend == "net" else "tcp",
             recorder=recorder,
+            telemetry=tel,
         )
     else:
         raise ValueError(
@@ -237,6 +248,11 @@ def _execute(
         result.trace = trace
         if isinstance(record_trace, (str, os.PathLike)):
             trace.save(record_trace)
+    if (
+        result.telemetry is not None
+        and isinstance(telemetry, (str, os.PathLike))
+    ):
+        result.telemetry.write(telemetry)
     return result
 
 
@@ -459,6 +475,7 @@ def run_consensus(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Binary consensus with crashes (Figs. 3-4, Theorems 7-8).
 
@@ -480,6 +497,7 @@ def run_consensus(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "consensus",
             "inputs": list(inputs),
@@ -503,6 +521,7 @@ def run_flooding(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Baseline flooding consensus (``t + 1`` min-broadcast rounds).
 
@@ -522,6 +541,7 @@ def run_flooding(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "flooding",
             "inputs": list(inputs),
@@ -544,6 +564,7 @@ def run_aea(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Almost-Everywhere-Agreement alone (Fig. 1, Theorem 5)."""
     n = len(inputs)
@@ -559,6 +580,7 @@ def run_aea(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "aea",
             "inputs": list(inputs),
@@ -584,6 +606,7 @@ def run_scv(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Spread-Common-Value alone (Fig. 2, Theorem 6).
 
@@ -604,6 +627,7 @@ def run_scv(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "scv",
             "n": n,
@@ -629,6 +653,7 @@ def run_gossip(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Gossiping with crashes (Fig. 5, Theorem 9), ``t < n/5``."""
     n = len(rumors)
@@ -644,6 +669,7 @@ def run_gossip(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "gossip",
             "rumors": list(rumors),
@@ -667,6 +693,7 @@ def run_checkpointing(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Checkpointing with crashes (Fig. 6, Theorem 10), ``t < n/5``."""
     processes, horizon = build_checkpointing_processes(
@@ -683,6 +710,7 @@ def run_checkpointing(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "checkpointing",
             "n": n,
@@ -707,6 +735,7 @@ def run_ab_consensus(
     scenario: Optional[Scenario] = None,
     record_trace: bool | str | os.PathLike = False,
     replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
 ) -> RunResult:
     """Consensus under authenticated Byzantine faults (Fig. 7, Thm. 11).
 
@@ -738,6 +767,7 @@ def run_ab_consensus(
         record_trace=record_trace,
         replay=replay,
         scenario=scenario,
+        telemetry=telemetry,
         protocol={
             "name": "ab_consensus",
             "inputs": list(inputs),
@@ -922,6 +952,17 @@ _EXECUTION_DOC = """
         delivered message, drop, crash, rejoin and the final metrics
         bit-for-bit (raises :class:`~repro.trace.TraceDivergence` on
         any difference).  Overrides ``crashes``/``scenario``.
+    telemetry:
+        Wall-clock instrumentation (:mod:`repro.obs`): ``True`` (or a
+        :class:`~repro.obs.TelemetryRecorder`) attaches the sealed
+        per-phase :class:`~repro.obs.RunTelemetry` as
+        ``result.telemetry``; a path string additionally writes the
+        artifact there, with the suffix selecting the format
+        (``.jsonl`` event log, ``.trace.json`` / ``.chrome.json``
+        Chrome trace-event JSON for Perfetto, anything else the
+        telemetry JSON).  Off by default and free when off: disabled
+        runs perform no clock reads or allocations and produce
+        bit-identical results (pinned by ``tests/test_obs.py``).
 """
 
 for _entry_point in (

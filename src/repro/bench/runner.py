@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench.runner table1
     python -m repro.bench.runner e5 e9 --jobs 4
     python -m repro.bench.runner all --jobs 8 --out results/
+    repro-bench profile smoke --jobs 4 --out obs/   # instrumented run
 
 Each experiment id maps to a declarative sweep spec in
 :mod:`repro.bench.series`; the scheduler in :mod:`repro.bench.sweep`
@@ -17,6 +18,13 @@ The output is an aligned text table (the same rows recorded in
 EXPERIMENTS.md); ``--out DIR`` additionally writes one JSON report
 (parameters, rows, timings) and one CSV (rows only) per experiment for
 machine-readable trajectory tracking.
+
+``repro-bench profile <experiment>`` runs one experiment with live
+progress heartbeats and prints its wall-clock profile (per-phase table,
+per-worker utilization) instead of the result rows; ``--out DIR``
+writes the telemetry artifacts -- ``<experiment>.events.jsonl`` and a
+Perfetto-loadable ``<experiment>.trace.json`` with one track per worker
+process (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -29,7 +37,14 @@ import time
 from repro.bench import series
 from repro.bench.sweep import run_sweep, union_columns, write_csv, write_json
 
-__all__ = ["EXPERIMENTS", "cli_main", "format_table", "main", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "cli_main",
+    "format_table",
+    "main",
+    "profile_main",
+    "run_experiment",
+]
 
 #: Experiment id -> (zero-argument spec builder, display title).  The
 #: single registry behind both :func:`run_experiment` and the CLI; the
@@ -55,6 +70,10 @@ EXPERIMENTS = {
     "fuzz": (
         series.fuzz_spec,
         "Differential fuzz: backend parity + safety and paper-bound oracles",
+    ),
+    "smoke": (
+        series.smoke_spec,
+        "Profiling smoke: a seconds-scale Table 1 slice (see `profile`)",
     ),
 }
 
@@ -88,6 +107,91 @@ def run_experiment(name: str, jobs: int = 1) -> list[dict]:
     return run_sweep(spec_builder(), jobs=jobs).rows()
 
 
+def _profile_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench profile",
+        description=(
+            "Run one experiment instrumented: live progress heartbeats, a "
+            "wall-clock profile table, and (with --out) Perfetto-loadable "
+            "telemetry artifacts."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        metavar="EXPERIMENT",
+        help=f"experiment id ({', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help=(
+            "write <DIR>/<experiment>.events.jsonl and "
+            "<DIR>/<experiment>.trace.json telemetry artifacts"
+        ),
+    )
+    parser.add_argument(
+        "--progress", dest="progress", action="store_true", default=None,
+        help="force progress heartbeats on (default: on when stderr is a TTY)",
+    )
+    parser.add_argument(
+        "--no-progress", dest="progress", action="store_false",
+        help="suppress progress heartbeats",
+    )
+    return parser.parse_args(argv)
+
+
+def profile_main(argv: list[str]) -> int:
+    """The ``repro-bench profile <experiment>`` subcommand."""
+    from repro.obs import ProgressReporter, format_summary, sweep_telemetry
+
+    args = _profile_args(argv)
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {list(EXPERIMENTS)}"
+        )
+        return 2
+    spec_builder, title = EXPERIMENTS[args.experiment]
+    spec = spec_builder()
+    reporter = ProgressReporter(
+        total=len(spec.expand()),
+        label=f"profile {args.experiment}",
+        jobs=args.jobs,
+        enabled=args.progress,
+    )
+    report = run_sweep(spec, jobs=args.jobs, progress=reporter.unit_done)
+    reporter.close()
+    telemetry = sweep_telemetry(report)
+    print(
+        f"== profile {args.experiment}: {title}  "
+        f"[{report.elapsed:.1f}s, jobs={report.jobs}]"
+    )
+    print(format_summary(telemetry.summary_rows()))
+    workers = report.worker_stats()
+    print(
+        "workers: "
+        + "; ".join(
+            f"pid {pid}: {info['units']} units, {info['busy_seconds']}s busy, "
+            f"util {info['utilization']:.0%}"
+            for pid, info in workers.items()
+        )
+    )
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        events_path = os.path.join(args.out, f"{args.experiment}.events.jsonl")
+        trace_path = os.path.join(args.out, f"{args.experiment}.trace.json")
+        telemetry.write(events_path)
+        telemetry.write(trace_path)
+        print(
+            f"   telemetry: {events_path} {trace_path}  "
+            "(open the trace in ui.perfetto.dev)"
+        )
+    return 0
+
+
 def _parse_args(argv: list[str]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.runner",
@@ -117,6 +221,8 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     args = _parse_args(argv)
     wanted = list(args.experiments)
     if wanted == ["all"]:

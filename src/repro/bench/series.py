@@ -72,6 +72,7 @@ __all__ = [
     "exp_net",
     "exp_scenarios",
     "exp_table1",
+    "smoke_spec",
 ]
 
 
@@ -161,6 +162,26 @@ def table1_spec(ns: Optional[list[int]] = None, seed: int = 1) -> SweepSpec:
         grid={
             "problem": ["consensus", "gossip", "checkpointing", "byzantine"],
             "n": ns,
+            "seed": [seed],
+        },
+        base_seed=seed,
+    )
+
+
+def smoke_spec(n: int = 48, seed: int = 1) -> SweepSpec:
+    """A seconds-scale slice of the Table 1 grid, for profiling smoke runs.
+
+    ``repro-bench profile smoke`` is what the CI observability job runs:
+    one unit per Table 1 problem at a small ``n`` -- enough work to
+    produce a non-trivial multi-unit timeline and exercise the telemetry
+    exporters, small enough to finish in seconds.
+    """
+    return SweepSpec(
+        name="smoke",
+        runner=table1_unit,
+        grid={
+            "problem": ["consensus", "gossip", "checkpointing", "byzantine"],
+            "n": [n],
             "seed": [seed],
         },
         base_seed=seed,

@@ -18,8 +18,10 @@ A sweep's output depends only on its spec, never on the worker count:
   spec's ``base_seed`` and the unit's own parameters via
   :func:`derive_seed` — a pure function of the unit, independent of
   expansion order and of which worker executes it;
-* results are collected with ``Pool.imap``, which preserves submission
-  order, so ``run_sweep(spec, jobs=4)`` returns rows identical to
+* results are collected with ``Pool.imap_unordered`` -- so a
+  ``progress=`` hook sees every completion the moment it happens, never
+  stalled behind a slow head-of-line unit -- and then sorted back into
+  unit order, so ``run_sweep(spec, jobs=4)`` returns rows identical to
   ``run_sweep(spec, jobs=1)`` (pinned by ``tests/test_sweep.py``).
 
 Work units must be picklable: spec runners are module-level functions
@@ -114,11 +116,21 @@ class SweepUnit:
 
 @dataclass
 class SweepOutcome:
-    """The result of one executed :class:`SweepUnit`."""
+    """The result of one executed :class:`SweepUnit`.
+
+    ``started`` is a wall-clock (``time.time``) epoch stamp -- unlike
+    ``perf_counter`` it is comparable across worker processes, which is
+    what lets :func:`repro.obs.sweep_telemetry` place units on a shared
+    timeline.  ``worker`` is the executing worker's OS pid (the parent's
+    pid for inline runs); both default to zero for artifacts predating
+    this field.
+    """
 
     unit: SweepUnit
     row: dict
     elapsed: float
+    started: float = 0.0
+    worker: int = 0
 
 
 @dataclass(frozen=True)
@@ -196,17 +208,41 @@ class SweepReport:
                     "params": outcome.unit.params,
                     "row": outcome.row,
                     "elapsed_seconds": round(outcome.elapsed, 3),
+                    "worker": outcome.worker,
                 }
                 for outcome in self.outcomes
             ],
+            "workers": self.worker_stats(),
         }
+
+    def worker_stats(self) -> dict:
+        """Per-worker unit counts, busy seconds and utilization."""
+        workers: dict[str, dict] = {}
+        for outcome in self.outcomes:
+            info = workers.setdefault(
+                str(outcome.worker), {"units": 0, "busy_seconds": 0.0}
+            )
+            info["units"] += 1
+            info["busy_seconds"] += outcome.elapsed
+        wall = max(self.elapsed, 1e-9)
+        for info in workers.values():
+            info["busy_seconds"] = round(info["busy_seconds"], 3)
+            info["utilization"] = round(info["busy_seconds"] / wall, 3)
+        return dict(sorted(workers.items()))
 
 
 def _execute_unit(task: tuple[Callable[[dict], dict], SweepUnit]) -> SweepOutcome:
     runner, unit = task
+    wall_started = time.time()
     started = time.perf_counter()
     row = runner(dict(unit.params))
-    return SweepOutcome(unit=unit, row=row, elapsed=time.perf_counter() - started)
+    return SweepOutcome(
+        unit=unit,
+        row=row,
+        elapsed=time.perf_counter() - started,
+        started=wall_started,
+        worker=os.getpid(),
+    )
 
 
 def run_sweep(
@@ -214,25 +250,39 @@ def run_sweep(
     jobs: int = 1,
     *,
     meta: Optional[Mapping[str, Any]] = None,
+    progress: Optional[Callable[[SweepOutcome], None]] = None,
 ) -> SweepReport:
     """Execute every unit of ``spec`` and return the ordered report.
 
     ``jobs`` caps worker processes; ``jobs <= 1`` (or a single unit)
     runs inline in this process, which keeps tracebacks direct and
-    avoids pool startup for trivial sweeps.  Parallel execution uses
-    ``Pool.imap`` so outcomes arrive in unit order regardless of which
-    worker finishes first.
+    avoids pool startup for trivial sweeps.  ``progress`` (e.g. a
+    :class:`repro.obs.ProgressReporter`'s ``unit_done``) is called with
+    each :class:`SweepOutcome` in *completion* order, as results stream
+    back over the pool's result pipe; the returned report is sorted into
+    unit order either way, so the hook never affects the rows (the
+    determinism contract in the module docstring).
     """
     units = spec.expand()
     tasks = [(spec.runner, unit) for unit in units]
     started = time.perf_counter()
     if jobs <= 1 or len(units) <= 1:
-        outcomes = [_execute_unit(task) for task in tasks]
+        outcomes = []
+        for task in tasks:
+            outcome = _execute_unit(task)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
         used = 1
     else:
         used = min(jobs, len(units))
         with multiprocessing.get_context().Pool(used) as pool:
-            outcomes = list(pool.imap(_execute_unit, tasks))
+            outcomes = []
+            for outcome in pool.imap_unordered(_execute_unit, tasks):
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+        outcomes.sort(key=lambda outcome: outcome.unit.index)
     return SweepReport(
         name=spec.name,
         outcomes=outcomes,

@@ -16,6 +16,13 @@ minimal one (greedy deletion/narrowing, re-running after each
 mutation) and written to ``--out`` as a self-contained trace artifact
 that ``repro.trace.replay_trace(path)`` reproduces anywhere; the exit
 status is non-zero.
+
+Long budgets used to print nothing until the end; now a throttled
+heartbeat (configs done/budget, configs/sec, eta, worker utilization,
+last sampled family/kind) goes to stderr while the sweep runs -- on by
+default when stderr is a TTY, forced either way with ``--progress`` /
+``--no-progress``.  Heartbeats ride the sweep scheduler's completion
+stream, so they never affect the rows (stdout stays machine-readable).
 """
 
 from __future__ import annotations
@@ -28,9 +35,11 @@ from repro.check.driver import (
     DEFAULT_BACKENDS,
     FAMILIES,
     build_fuzz_spec,
+    describe_fuzz_outcome,
     sample_config,
 )
 from repro.check.shrink import emit_artifact, shrink_scenario
+from repro.obs import ProgressReporter
 
 __all__ = ["main"]
 
@@ -87,6 +96,18 @@ def _parse_args(argv) -> argparse.Namespace:
         help="report violations without shrinking (faster triage loop)",
     )
     parser.add_argument(
+        "--progress", dest="progress", action="store_true", default=None,
+        help=(
+            "print periodic progress lines to stderr (configs done/budget, "
+            "configs/sec, eta, current family/seed); the default is on when "
+            "stderr is a TTY"
+        ),
+    )
+    parser.add_argument(
+        "--no-progress", dest="progress", action="store_false",
+        help="suppress progress lines even on a TTY",
+    )
+    parser.add_argument(
         "--max-shrink-runs", type=int, default=150,
         help="re-run budget per shrink (default 150)",
     )
@@ -130,7 +151,15 @@ def main(argv=None) -> int:
         backends=",".join(backends),
         indices=indices,
     )
-    report = run_sweep(spec, jobs=args.jobs)
+    reporter = ProgressReporter(
+        total=len(spec.expand()),
+        label="repro.check",
+        jobs=args.jobs,
+        describe=describe_fuzz_outcome,
+        enabled=args.progress,
+    )
+    report = run_sweep(spec, jobs=args.jobs, progress=reporter.unit_done)
+    reporter.close()
     rows = report.rows()
 
     clean = [row for row in rows if not row["violations"]]

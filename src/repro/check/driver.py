@@ -44,6 +44,7 @@ __all__ = [
     "FAMILIES",
     "FuzzConfig",
     "build_fuzz_spec",
+    "describe_fuzz_outcome",
     "fuzz_unit",
     "run_config",
     "sample_config",
@@ -394,6 +395,27 @@ def fuzz_unit(params: dict) -> dict:
         backends=backends,
     )
     return run_config(config)
+
+
+def describe_fuzz_outcome(outcome) -> str:
+    """Progress-line phrase for one completed fuzz unit.
+
+    Fed to :class:`repro.obs.ProgressReporter` by the CLI; the generic
+    describer would print the series seed (identical for every unit),
+    whereas triage wants the configuration index and what it sampled::
+
+        repro.check: 120/200 units, 14.3/s, eta 6s, ... last #119 gossip/churn
+    """
+    row = getattr(outcome, "row", None) or {}
+    params = getattr(getattr(outcome, "unit", None), "params", None) or {}
+    bits = [f"#{row.get('index', params.get('index', '?'))}"]
+    family = row.get("family")
+    if family:
+        kind = row.get("kind")
+        bits.append(f"{family}/{kind}" if kind else str(family))
+    if row.get("violations"):
+        bits.append(f"VIOLATIONS={row['violations']}")
+    return " ".join(bits)
 
 
 def build_fuzz_spec(

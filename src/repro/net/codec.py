@@ -49,7 +49,28 @@ __all__ = [
     "check_frame_size",
     "decode",
     "encode",
+    "set_codec_probe",
 ]
+
+#: Optional telemetry probe (see :mod:`repro.obs`): when set, every
+#: :func:`encode` / :func:`decode` call aggregates its wall-clock cost
+#: into the recorder's ``codec.encode`` / ``codec.decode`` phase stats
+#: via :meth:`~repro.obs.Recorder.sample` -- aggregates only, never
+#: per-frame events, so a million-frame run stays cheap to profile.
+#: Unset (the default), the cost is one module-global truth test per
+#: call.
+_PROBE: Any = None
+
+
+def set_codec_probe(recorder: Any) -> None:
+    """Install (or with ``None`` remove) the codec timing probe.
+
+    The probe is process-global because the codec is: the net runners
+    install it for the duration of one instrumented run and remove it
+    in their cleanup path.  Runs without telemetry never touch it.
+    """
+    global _PROBE
+    _PROBE = recorder if recorder is not None and recorder.enabled else None
 
 #: ``(body_len, address)`` -- address is dst on the way to the hub and
 #: src on the way out.
@@ -107,7 +128,13 @@ def encode(obj: Any) -> bytes:
     what keeps a payload's pickling cost independent of its recipient
     count.
     """
-    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    probe = _PROBE
+    if probe is None:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    start = probe.clock()
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    probe.sample("codec.encode", probe.clock() - start)
+    return body
 
 
 def decode(body: bytes) -> Any:
@@ -118,4 +145,10 @@ def decode(body: bytes) -> Any:
     instance — so payload mutation can never leak between nodes within
     or across rounds.
     """
-    return pickle.loads(body)
+    probe = _PROBE
+    if probe is None:
+        return pickle.loads(body)
+    start = probe.clock()
+    obj = pickle.loads(body)
+    probe.sample("codec.decode", probe.clock() - start)
+    return obj

@@ -55,10 +55,12 @@ from __future__ import annotations
 
 import asyncio
 import copy
+import time
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
-from repro.net.codec import encode
+from repro.net.codec import encode, set_codec_probe
 from repro.net.faults import NetFaultInjector, NodeStatus, RuntimeView
+from repro.obs.recorder import coerce_recorder
 from repro.net.transport import Endpoint, MemoryHub, TCPHub, connect_tcp
 from repro.sim.adversary import CrashAdversary, NoFailures
 from repro.sim.engine import (
@@ -106,7 +108,12 @@ def _status_of(proc: Process) -> tuple[bool, bool, Any]:
 
 
 async def run_node(
-    proc: Process, endpoint: Endpoint, coordinator: int, *, churn: bool = False
+    proc: Process,
+    endpoint: Endpoint,
+    coordinator: int,
+    *,
+    churn: bool = False,
+    telemetry: Any = None,
 ) -> None:
     """Host one process on one endpoint until it halts, crashes for good
     or is stopped.
@@ -120,9 +127,16 @@ async def run_node(
     escaping the hooks) are reported to the coordinator as ``ERROR``
     frames so they surface in the driving process even when this node
     lives in a remote worker.
+
+    ``telemetry`` (a live :class:`repro.obs.TelemetryRecorder` sharing
+    the coordinator's event loop, or ``None``) adds ``node.send`` /
+    ``node.deliver`` spans on a per-node track.  Only the in-process
+    runners wire it; nodes hosted in remote worker processes
+    (:func:`host_nodes_tcp`) have no recorder, so a distributed profile
+    shows the coordinator's barrier view only.
     """
     try:
-        await _node_loop(proc, endpoint, coordinator, churn)
+        await _node_loop(proc, endpoint, coordinator, churn, telemetry)
     except asyncio.CancelledError:
         raise
     except Exception as exc:  # report, then end this node quietly
@@ -161,10 +175,16 @@ async def _await_rejoin(endpoint: Endpoint) -> bool:
 
 
 async def _node_loop(
-    proc: Process, endpoint: Endpoint, coordinator: int, churn: bool
+    proc: Process,
+    endpoint: Endpoint,
+    coordinator: int,
+    churn: bool,
+    telemetry: Any = None,
 ) -> None:
     pid = proc.pid
     n = proc.n
+    tel = coerce_recorder(telemetry)
+    track = f"node-{pid}"
     # Churn nodes snapshot their pre-on_start state: a REJOIN restores
     # it (fresh deep copy per rejoin) and runs on_start again -- the
     # same reset the engine applies.
@@ -190,11 +210,15 @@ async def _node_loop(
         elif kind == _START:
             _, rnd, crashing, keep, blocked, will_rejoin, record = frame
             bits_cache.clear()
+            if tel is not None:
+                t_send = tel.clock()
             if crashing:
                 await _send_phase(
                     proc, endpoint, coordinator, rnd, keep, bits_cache,
                     blocked, record,
                 )
+                if tel is not None:
+                    tel.span("node.send", rnd, t_send, tel.clock(), track=track)
                 if not will_rejoin:
                     return  # crashed for good: no further activity
                 if snapshot is None:
@@ -221,6 +245,8 @@ async def _node_loop(
                 proc, endpoint, coordinator, rnd, None, bits_cache,
                 blocked, record,
             )
+            if tel is not None:
+                tel.span("node.send", rnd, t_send, tel.clock(), track=track)
             if proc.halted:
                 # Halted inside send(): the engine skips such a process
                 # from the receive phase onwards, and the coordinator
@@ -229,8 +255,14 @@ async def _node_loop(
                 return
         elif kind == _DELIVER:
             _, rnd, expect, need_wake = frame
+            if tel is not None:
+                t_deliver = tel.clock()
             inbox = await _collect_inbox(endpoint, buffers, rnd, expect)
             proc.receive(rnd, inbox)
+            if tel is not None:
+                tel.span(
+                    "node.deliver", rnd, t_deliver, tel.clock(), track=track
+                )
             wake: Optional[int] = None
             if need_wake and not proc.halted:
                 wake = proc.next_activity(rnd)
@@ -344,6 +376,7 @@ class Synchronizer:
         fast_forward: bool = True,
         timeout: Optional[float] = 120.0,
         recorder: Optional[Any] = None,
+        telemetry: Any = None,
     ):
         self.n = n
         self.byzantine = frozenset(byzantine)
@@ -357,10 +390,20 @@ class Synchronizer:
         #: when set, nodes are asked to ship per-group send records in
         #: their ``SENT`` reports and every fault event is forwarded
         self.recorder = recorder
+        #: wall-clock instrumentation (see :mod:`repro.obs`); the
+        #: coordinator's send/deliver spans include the barrier wait for
+        #: the corresponding node reports
+        self.telemetry = coerce_recorder(telemetry)
         self.metrics = Metrics()
         self.crashed: set[int] = set()
         self.statuses = [NodeStatus(pid) for pid in range(n)]
         self.view = RuntimeView(self.statuses, self.crashed)
+        #: pid -> (phase, round, time.monotonic()) of the node's last
+        #: completed report.  Always maintained (one dict store per
+        #: report frame, telemetry or not) so a barrier timeout can name
+        #: the laggard: "stuck in phase X of round R" plus how long ago
+        #: each missing node last reported.
+        self.last_progress: dict[int, tuple[str, int, float]] = {}
 
     async def run(self, endpoint: Endpoint) -> RunResult:
         """Execute to completion and return an engine-shaped result.
@@ -373,6 +416,9 @@ class Synchronizer:
         The single-process runners replace them with the locally hosted
         process objects.
         """
+        tel = self.telemetry
+        if tel is not None:
+            tel.run_begin(n=self.n)
         try:
             await self._await_ready(endpoint)
             completed, last_active_round = await self._round_loop(endpoint)
@@ -393,7 +439,7 @@ class Synchronizer:
         decisions = {
             s.pid: s.decision for s in self.statuses if s.decided
         }
-        return RunResult(
+        result = RunResult(
             processes=tuple(self.statuses),
             metrics=self.metrics,
             crashed=set(self.crashed),
@@ -401,10 +447,19 @@ class Synchronizer:
             completed=completed,
             decisions=decisions,
         )
+        if tel is not None:
+            tel.run_end(completed=completed)
+            result.telemetry = tel.finish(result)
+        return result
 
     # -- protocol steps --------------------------------------------------
 
-    async def _recv(self, endpoint: Endpoint, context: str = "") -> tuple:
+    async def _recv(
+        self,
+        endpoint: Endpoint,
+        context: str = "",
+        pending: Optional[Iterable[int]] = None,
+    ) -> tuple:
         if self.timeout is None:
             src, frame = await endpoint.recv()
         else:
@@ -415,6 +470,7 @@ class Synchronizer:
                     f"coordinator timed out after {self.timeout}s waiting for "
                     f"node reports ({context or 'unknown phase'}; a node task "
                     "or worker process died?)"
+                    + self._laggard_detail(pending)
                 ) from None
         if frame[0] == _ERROR:
             _, pid, kind, text = frame
@@ -423,17 +479,46 @@ class Synchronizer:
             raise NetRuntimeError(f"node {pid} failed with {kind}: {text}")
         return frame
 
+    def _laggard_detail(self, pending: Optional[Iterable[int]]) -> str:
+        """Per-missing-pid last-completed-span lines for timeout errors.
+
+        Built from :attr:`last_progress` (maintained on every report
+        frame, so available whether or not telemetry is enabled): names
+        which nodes the barrier is stuck on and what each last finished.
+        """
+        if not pending:
+            return ""
+        now = time.monotonic()
+        lines = []
+        for pid in sorted(pending)[:8]:
+            entry = self.last_progress.get(pid)
+            if entry is None:
+                lines.append(f"pid {pid}: no reports received yet")
+            else:
+                phase, rnd, ts = entry
+                where = phase if rnd < 0 else f"{phase} of round {rnd}"
+                lines.append(
+                    f"pid {pid}: last completed {where}, {now - ts:.1f}s ago"
+                )
+        more = len(list(pending)) - len(lines)
+        if more > 0:
+            lines.append(f"... and {more} more")
+        return " | laggards: " + "; ".join(lines)
+
     async def _await_ready(self, endpoint: Endpoint) -> None:
         pending = set(range(self.n))
         while pending:
             frame = await self._recv(
-                endpoint, f"ready phase, missing pids {sorted(pending)}"
+                endpoint,
+                f"ready phase, missing pids {sorted(pending)}",
+                pending=pending,
             )
             if frame[0] != _READY:
                 raise NetRuntimeError(f"expected ready, got {frame[0]!r}")
             _, pid, halted, decided, decision = frame
             pending.discard(pid)
             self._update(pid, halted, decided, decision)
+            self.last_progress[pid] = ("ready", -1, time.monotonic())
 
     def _update(self, pid: int, halted: bool, decided: bool, decision: Any) -> None:
         status = self.statuses[pid]
@@ -461,6 +546,7 @@ class Synchronizer:
             frame = await self._recv(
                 endpoint,
                 f"rejoin phase of round {rnd}, missing pids {sorted(pending)}",
+                pending=pending,
             )
             if frame[0] != _REJOINED:
                 raise NetRuntimeError(f"expected rejoined, got {frame[0]!r}")
@@ -469,6 +555,7 @@ class Synchronizer:
             self.crashed.discard(pid)
             self._update(pid, halted, decided, decision)
             self.statuses[pid].wake = None
+            self.last_progress[pid] = ("rejoin", rnd, time.monotonic())
         return rejoining
 
     async def _round_loop(self, endpoint: Endpoint) -> tuple[bool, int]:
@@ -477,12 +564,27 @@ class Synchronizer:
         last_active_round = -1
         hit_max = True
         record = self.recorder is not None
+        tel = self.telemetry
+        decided_seen: set[int] = set()
         while rnd < self.max_rounds:
+            if tel is not None:
+                t_round = tel.clock()
             rejoining = await self._rejoin_phase(endpoint, rnd)
+            if tel is not None:
+                t_rejoin = tel.clock()
+                if rejoining:
+                    tel.span("rejoin", rnd, t_round, t_rejoin)
+                    for pid in rejoining:
+                        tel.point("rejoin", rnd, t_rejoin, pid=pid)
             crashing = self.injector.crashes_for_round(rnd, self.view)
             blocked = self.injector.blocked_links(rnd)
             if record:
                 self.recorder.round_events(rnd, crashing, rejoining, blocked)
+            if tel is not None:
+                t_crash = tel.clock()
+                tel.span("crash", rnd, t_rejoin, t_crash)
+                for pid in crashing:
+                    tel.point("crash", rnd, t_crash, pid=pid, keep=crashing[pid])
 
             # Send phase: open the round for every live node.
             participants = [
@@ -512,6 +614,7 @@ class Synchronizer:
                 frame = await self._recv(
                     endpoint,
                     f"send phase of round {rnd}, missing pids {sorted(pending)}",
+                    pending=pending,
                 )
                 if frame[0] != _SENT:
                     raise NetRuntimeError(f"expected sent, got {frame[0]!r}")
@@ -519,6 +622,7 @@ class Synchronizer:
                  halted, decided, decision) = frame
                 pending.discard(pid)
                 self._update(pid, halted, decided, decision)
+                self.last_progress[pid] = ("send", rnd, time.monotonic())
                 for dst, count in dest_counts.items():
                     expected[dst] += count
                 if msgs:
@@ -531,6 +635,10 @@ class Synchronizer:
                         self.metrics.record_drop(dropped)
                     if record:
                         self.recorder.record_drops(rnd, pid, dropped)
+                    if tel is not None:
+                        tel.point(
+                            "drop", rnd, tel.clock(), pid=pid, count=dropped
+                        )
                 if record and records:
                     for dsts, bits_each, digest in records:
                         self.recorder.record_send_digest(
@@ -539,6 +647,11 @@ class Synchronizer:
             for pid in crashing:
                 if pid in participants:
                     self.crashed.add(pid)
+            if tel is not None:
+                # The send span covers opening the round plus the
+                # barrier wait for every live node's SENT report.
+                t_send = tel.clock()
+                tel.span("send", rnd, t_crash, t_send)
 
             # Receive phase: survivors consume their (possibly empty) inbox.
             need_wake = self.fast_forward and not delivered_any
@@ -554,17 +667,28 @@ class Synchronizer:
                 frame = await self._recv(
                     endpoint,
                     f"receive phase of round {rnd}, missing pids {sorted(pending)}",
+                    pending=pending,
                 )
                 if frame[0] != _DONE:
                     raise NetRuntimeError(f"expected done, got {frame[0]!r}")
                 _, r, pid, halted, decided, decision, wake = frame
                 pending.discard(pid)
                 self._update(pid, halted, decided, decision)
+                self.last_progress[pid] = ("deliver", rnd, time.monotonic())
                 self.statuses[pid].wake = wake
                 if wake is not None and wake <= rnd:
                     raise ProtocolError(
                         f"process {pid} declared next_activity {wake} <= {rnd}"
                     )
+            if tel is not None:
+                # Likewise, deliver covers the DONE barrier wait.
+                t_deliver = tel.clock()
+                tel.span("deliver", rnd, t_send, t_deliver)
+                tel.span("round", rnd, t_round, t_deliver)
+                for status in self.statuses:
+                    if status.decided and status.pid not in decided_seen:
+                        decided_seen.add(status.pid)
+                        tel.point("decide", rnd, t_deliver, pid=status.pid)
 
             if delivered_any:
                 last_active_round = rnd
@@ -635,8 +759,18 @@ async def _run_async(
     port: int,
     timeout: Optional[float],
     recorder: Optional[Any] = None,
+    telemetry: Any = None,
 ) -> RunResult:
     n = len(processes)
+    tel = coerce_recorder(telemetry)
+    if tel is not None:
+        # Label and open the run span before any transport setup so the
+        # node/coordinator spans all land inside it; install the codec
+        # probe so frame encode/decode cost aggregates into the stats.
+        tel.run_begin(
+            backend="net" if transport == "memory" else "tcp", n=n
+        )
+        set_codec_probe(tel)
     hub: Any
     if transport == "memory":
         hub = MemoryHub()
@@ -657,6 +791,7 @@ async def _run_async(
         fast_forward=fast_forward,
         timeout=timeout,
         recorder=recorder,
+        telemetry=tel,
     )
     churn_pids = (
         adversary.rejoin_pids() if adversary is not None else frozenset()
@@ -664,7 +799,11 @@ async def _run_async(
     node_tasks = [
         asyncio.create_task(
             run_node(
-                proc, endpoints[proc.pid], n, churn=proc.pid in churn_pids
+                proc,
+                endpoints[proc.pid],
+                n,
+                churn=proc.pid in churn_pids,
+                telemetry=tel,
             )
         )
         for proc in processes
@@ -673,6 +812,8 @@ async def _run_async(
         result = await sync.run(endpoints[n])
         await asyncio.gather(*node_tasks)
     finally:
+        if tel is not None:
+            set_codec_probe(None)
         for task in node_tasks:
             if not task.done():
                 task.cancel()
@@ -696,6 +837,7 @@ def run_protocol_net(
     port: int = 0,
     timeout: Optional[float] = 120.0,
     recorder: Optional[Any] = None,
+    telemetry: Any = None,
 ) -> RunResult:
     """Execute ``processes`` on the net runtime in this OS process.
 
@@ -706,7 +848,10 @@ def run_protocol_net(
     :class:`~repro.sim.engine.RunResult` (with ``result.processes``
     holding the locally hosted instances).  ``transport`` selects the
     in-memory hub or a loopback TCP hub (real sockets, one OS process);
-    ``recorder`` attaches a :mod:`repro.trace` recorder/checker.
+    ``recorder`` attaches a :mod:`repro.trace` recorder/checker;
+    ``telemetry`` (see :mod:`repro.obs`) adds coordinator round/phase
+    spans, per-node ``node.send``/``node.deliver`` tracks and aggregated
+    codec timings, sealed onto ``result.telemetry``.
     """
     check_pid_order(processes)
     return asyncio.run(
@@ -721,6 +866,7 @@ def run_protocol_net(
             port,
             timeout,
             recorder,
+            telemetry,
         )
     )
 
@@ -737,6 +883,7 @@ async def serve_tcp(
     hub: Optional[TCPHub] = None,
     timeout: Optional[float] = 120.0,
     recorder: Optional[Any] = None,
+    telemetry: Any = None,
 ) -> RunResult:
     """Run the hub and coordinator for an ``n``-node TCP deployment.
 
@@ -751,6 +898,10 @@ async def serve_tcp(
     if hub is None:
         hub = TCPHub(host, port)
         await hub.start()
+    tel = coerce_recorder(telemetry)
+    if tel is not None:
+        tel.run_begin(backend="tcp", n=n)
+        set_codec_probe(tel)
     endpoint = await connect_tcp(hub.host, hub.port, n)
     try:
         sync = Synchronizer(
@@ -761,9 +912,12 @@ async def serve_tcp(
             fast_forward=fast_forward,
             timeout=timeout,
             recorder=recorder,
+            telemetry=tel,
         )
         return await sync.run(endpoint)
     finally:
+        if tel is not None:
+            set_codec_probe(None)
         await endpoint.close()
         await hub.close()
 

@@ -64,6 +64,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
+from repro.obs.recorder import coerce_recorder
 from repro.sim.adversary import CrashAdversary, NoFailures
 from repro.sim.metrics import Metrics
 from repro.sim.process import (
@@ -168,6 +169,9 @@ class RunResult:
     #: the recorded :class:`repro.trace.Trace`, attached by the
     #: ``repro.api`` entry points when ``record_trace`` was requested
     trace: Any = None
+    #: the sealed :class:`repro.obs.RunTelemetry` artifact when the run
+    #: was executed with ``telemetry=`` enabled, else ``None``
+    telemetry: Any = None
 
     @property
     def rounds(self) -> int:
@@ -227,6 +231,14 @@ class Engine:
         through the shared :func:`collect_sends` slow path (the fast
         path stays branch-free when no recorder is attached); metrics
         are unaffected either way.
+    telemetry:
+        Wall-clock instrumentation (see :mod:`repro.obs`): ``True`` or a
+        :class:`~repro.obs.TelemetryRecorder` enables per-phase span
+        recording; the sealed :class:`~repro.obs.RunTelemetry` is
+        attached as ``result.telemetry``.  Disabled (the default) costs
+        nothing: the value is normalised to ``None`` once here and every
+        instrumentation site is guarded by a plain ``is not None`` test,
+        so the hot path performs no calls, clock reads or allocations.
     """
 
     def __init__(
@@ -239,6 +251,7 @@ class Engine:
         fast_forward: bool = True,
         optimized: bool = True,
         recorder: Optional[Any] = None,
+        telemetry: Any = None,
     ):
         check_pid_order(processes)
         self.processes = list(processes)
@@ -249,6 +262,7 @@ class Engine:
         self.fast_forward = fast_forward
         self.optimized = optimized
         self.recorder = recorder
+        self.telemetry = coerce_recorder(telemetry)
         self.metrics = Metrics()
         self.crashed: set[int] = set()
         self.round: int = 0
@@ -276,6 +290,11 @@ class Engine:
         or reuse of the engine sees the constructor's setting.
         """
         fast_forward = self.fast_forward and observer is None
+        tel = self.telemetry
+        if tel is not None:
+            tel.run_begin(
+                backend="sim-opt" if self.optimized else "sim-ref", n=self.n
+            )
         for pid in self.adversary.rejoin_pids():
             if not 0 <= pid < self.n:
                 raise ProtocolError(f"rejoin scheduled for invalid pid {pid}")
@@ -315,6 +334,9 @@ class Engine:
         for proc in self.processes:
             if proc.decided:
                 result.decisions[proc.pid] = proc.decision
+        if tel is not None:
+            tel.run_end(completed=completed)
+            result.telemetry = tel.finish(result)
         return result
 
     # -- round loops ------------------------------------------------------
@@ -326,16 +348,26 @@ class Engine:
         caller applies the everyone-crashed fixup shared by both paths.
         """
         recorder = self.recorder
+        tel = self.telemetry
+        decided_seen: set[int] = set()
         rnd = 0
         completed = False
         last_active_round = -1
         while rnd < self.max_rounds:
             self.round = rnd
+            if tel is not None:
+                t_round = tel.clock()
 
             # Rejoin phase (churn): crashed nodes scheduled to come back
             # are reset and reinstated before the crash nomination, so
             # they participate in this round's send phase.
             rejoining = self._apply_rejoins(rnd)
+            if tel is not None:
+                t_rejoin = tel.clock()
+                if rejoining:
+                    tel.span("rejoin", rnd, t_round, t_rejoin)
+                    for pid in rejoining:
+                        tel.point("rejoin", rnd, t_rejoin, pid=pid)
 
             # Crash phase: nodes crashing at this round.
             crashing = self.adversary.crashes_for_round(rnd, self)
@@ -347,6 +379,11 @@ class Engine:
             blocked = self.adversary.blocked_links(rnd)
             if recorder is not None:
                 recorder.round_events(rnd, crashing, rejoining, blocked)
+            if tel is not None:
+                t_crash = tel.clock()
+                tel.span("crash", rnd, t_rejoin, t_crash)
+                for pid in crashing:
+                    tel.point("crash", rnd, t_crash, pid=pid, keep=crashing[pid])
 
             # Send phase.
             inboxes: dict[int, list[tuple[int, Any]]] = {}
@@ -371,6 +408,11 @@ class Engine:
                                 self.metrics.record_drop(dropped)
                             if recorder is not None:
                                 recorder.record_drops(rnd, pid, dropped)
+                            if tel is not None:
+                                tel.point(
+                                    "drop", rnd, tel.clock(), pid=pid,
+                                    count=dropped,
+                                )
                 if not sent:
                     continue
                 counted = pid not in self.byzantine
@@ -386,6 +428,9 @@ class Engine:
                     for dst in dsts:
                         inboxes.setdefault(dst, []).append((pid, payload))
                         delivered_any = True
+            if tel is not None:
+                t_send = tel.clock()
+                tel.span("send", rnd, t_crash, t_send)
 
             # Receive phase.
             for proc in self.processes:
@@ -393,6 +438,14 @@ class Engine:
                 if pid in self.crashed or proc.halted:
                     continue
                 proc.receive(rnd, inboxes.get(pid, []))
+            if tel is not None:
+                t_deliver = tel.clock()
+                tel.span("deliver", rnd, t_send, t_deliver)
+                tel.span("round", rnd, t_round, t_deliver)
+                for proc in self.processes:
+                    if proc.decided and proc.pid not in decided_seen:
+                        decided_seen.add(proc.pid)
+                        tel.point("decide", rnd, t_deliver, pid=proc.pid)
 
             if delivered_any:
                 last_active_round = rnd
@@ -435,12 +488,16 @@ class Engine:
         active = [
             p for p in self.processes if p.pid not in crashed and not p.halted
         ]
+        tel = self.telemetry
+        decided_seen: set[int] = set()
 
         rnd = 0
         completed = False
         last_active_round = -1
         while rnd < self.max_rounds:
             self.round = rnd
+            if tel is not None:
+                t_round = tel.clock()
 
             rejoining = self._apply_rejoins(rnd)
             if rejoining:
@@ -450,6 +507,12 @@ class Engine:
                     for p in self.processes
                     if p.pid not in crashed and not p.halted
                 ]
+            if tel is not None:
+                t_rejoin = tel.clock()
+                if rejoining:
+                    tel.span("rejoin", rnd, t_round, t_rejoin)
+                    for pid in rejoining:
+                        tel.point("rejoin", rnd, t_rejoin, pid=pid)
 
             crashing = self.adversary.crashes_for_round(rnd, self)
             membership_dirty = bool(crashing)
@@ -462,6 +525,11 @@ class Engine:
             blocked = self.adversary.blocked_links(rnd)
             if recorder is not None:
                 recorder.round_events(rnd, crashing, rejoining, blocked)
+            if tel is not None:
+                t_crash = tel.clock()
+                tel.span("crash", rnd, t_rejoin, t_crash)
+                for pid in crashing:
+                    tel.point("crash", rnd, t_crash, pid=pid, keep=crashing[pid])
 
             # Send phase.  A sender takes the collect_sends slow path
             # when it crashes this round, when a link filter is active,
@@ -493,6 +561,11 @@ class Engine:
                                     metrics.record_drop(dropped)
                                 if recorder is not None:
                                     recorder.record_drops(rnd, pid, dropped)
+                                if tel is not None:
+                                    tel.point(
+                                        "drop", rnd, tel.clock(), pid=pid,
+                                        count=dropped,
+                                    )
                     if not groups:
                         continue
                     counted = pid not in byzantine
@@ -555,6 +628,9 @@ class Engine:
                         pid, msg_total, bit_total, rnd, pid not in byzantine
                     )
                     delivered_any = True
+            if tel is not None:
+                t_send = tel.clock()
+                tel.span("send", rnd, t_crash, t_send)
 
             # Receive phase.
             for proc in active:
@@ -572,6 +648,14 @@ class Engine:
             # Abandon delivered inboxes to their consumers.
             for dst in touched:
                 inboxes[dst] = []
+            if tel is not None:
+                t_deliver = tel.clock()
+                tel.span("deliver", rnd, t_send, t_deliver)
+                tel.span("round", rnd, t_round, t_deliver)
+                for proc in self.processes:
+                    if proc.decided and proc.pid not in decided_seen:
+                        decided_seen.add(proc.pid)
+                        tel.point("decide", rnd, t_deliver, pid=proc.pid)
 
             if delivered_any:
                 last_active_round = rnd

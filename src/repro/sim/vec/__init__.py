@@ -77,6 +77,7 @@ def vec_run(
     fast_forward: bool = True,
     optimized: bool = True,
     recorder: Optional[Any] = None,
+    telemetry: Any = None,
 ) -> RunResult:
     """Execute on the vectorized backend (kernel or engine fallback).
 
@@ -85,7 +86,11 @@ def vec_run(
     kernel family, the adversary is oblivious, there are no Byzantine
     nodes and no trace recorder/checker is attached; otherwise falls
     back to :class:`~repro.sim.engine.Engine` (same observable results;
-    see the module docstring).
+    see the module docstring).  ``telemetry`` (see :mod:`repro.obs`)
+    never forces the fallback -- :class:`~repro.sim.vec.engine.VecEngine`
+    emits its own span taxonomy (``kernel.step`` instead of the engine's
+    ``send``/``deliver`` split) -- so profiling a vec run measures the
+    kernels, not the engine.
     """
     if not HAVE_NUMPY:
         raise RuntimeError(
@@ -111,6 +116,7 @@ def vec_run(
             fast_forward=fast_forward,
             optimized=optimized,
             recorder=recorder,
+            telemetry=telemetry,
         ).run()
     from repro.sim.vec.engine import VecEngine
 
@@ -120,4 +126,5 @@ def vec_run(
         kernel,
         max_rounds=max_rounds,
         fast_forward=fast_forward,
+        telemetry=telemetry,
     ).run()

@@ -32,6 +32,7 @@ from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.recorder import coerce_recorder
 from repro.sim.adversary import CrashAdversary
 from repro.sim.engine import RunResult, check_pid_order
 from repro.sim.metrics import Metrics
@@ -250,6 +251,7 @@ class VecEngine:
         *,
         max_rounds: int = 100_000,
         fast_forward: bool = True,
+        telemetry: Any = None,
     ) -> None:
         check_pid_order(processes)
         self.processes = list(processes)
@@ -258,6 +260,11 @@ class VecEngine:
         self.kernel = kernel
         self.max_rounds = max_rounds
         self.fast_forward = fast_forward
+        #: wall-clock instrumentation (see repro.obs); normalised to
+        #: None when disabled so the round loop only pays an `is not
+        #: None` test per phase.  Spans: round / rejoin / crash /
+        #: kernel.step (the vectorized send+receive body).
+        self.telemetry = coerce_recorder(telemetry)
         self.round = 0
         self.crashed_mask = np.zeros(self.n, dtype=bool)
         self.sink = VecMetricsSink(self.n)
@@ -278,6 +285,9 @@ class VecEngine:
                 raise ProtocolError(
                     f"rejoin scheduled for invalid pid {pid}"
                 )
+        tel = self.telemetry
+        if tel is not None:
+            tel.run_begin(backend="vec", n=n, kernel=type(kernel).__name__)
         rnd = 0
         completed = False
         exhausted = True
@@ -285,6 +295,8 @@ class VecEngine:
         rounds_metric = self.max_rounds
         while rnd < self.max_rounds:
             self.round = rnd
+            if tel is not None:
+                t_round = tel.clock()
             scheduled = adversary.rejoins_for_round(rnd)
             rejoining = (
                 sorted(pid for pid in scheduled if crashed[pid])
@@ -294,6 +306,12 @@ class VecEngine:
             if rejoining:
                 kernel.reset_nodes(rejoining)
                 crashed[rejoining] = False
+            if tel is not None:
+                t_rejoin = tel.clock()
+                if rejoining:
+                    tel.span("rejoin", rnd, t_round, t_rejoin)
+                    for pid in rejoining:
+                        tel.point("rejoin", rnd, t_rejoin, pid=pid)
             crashing = adversary.crashes_for_round(rnd, self)
             blocked = adversary.blocked_links(rnd)
             senders = ~crashed & ~kernel.halted
@@ -312,9 +330,24 @@ class VecEngine:
             if actually_crashing:
                 receivers = senders.copy()
                 receivers[actually_crashing] = False
+            if tel is not None:
+                t_crash = tel.clock()
+                tel.span("crash", rnd, t_rejoin, t_crash)
+                for pid in actually_crashing:
+                    tel.point(
+                        "crash", rnd, t_crash, pid=pid, keep=crashing[pid]
+                    )
+                drops_before = self.sink._dropped
             delivered_any = kernel.step(
                 rnd, senders, receivers, keep, blocked, self.sink
             )
+            if tel is not None:
+                t_step = tel.clock()
+                tel.span("kernel.step", rnd, t_crash, t_step)
+                tel.span("round", rnd, t_round, t_step)
+                dropped = self.sink._dropped - drops_before
+                if dropped:
+                    tel.point("drop", rnd, t_step, count=dropped)
             if actually_crashing:
                 crashed[actually_crashing] = True
             if delivered_any:
@@ -346,6 +379,15 @@ class VecEngine:
         for proc in self.processes:
             if proc.decided:
                 result.decisions[proc.pid] = proc.decision
+        if tel is not None:
+            # Kernels decide in bulk at finalize, so per-round decide
+            # timing is not observable here; stamp the markers at the
+            # final round instead (the counts still match the engine).
+            now = tel.clock()
+            for pid in sorted(result.decisions):
+                tel.point("decide", rounds_metric - 1, now, pid=pid)
+            tel.run_end(completed=completed)
+            result.telemetry = tel.finish(result)
         return result
 
     def _advance(self, rnd: int, delivered_any: bool) -> int:

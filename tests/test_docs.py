@@ -24,6 +24,18 @@ def test_faults_handbook_doctests():
     assert results.failed == 0
 
 
+def test_observability_handbook_doctests():
+    """Every snippet in docs/observability.md executes (the CI docs job
+    runs the same file via --doctest-glob)."""
+    results = doctest.testfile(
+        str(ROOT / "docs" / "observability.md"),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 5, "handbook lost its runnable examples"
+    assert results.failed == 0
+
+
 def test_markdown_links_resolve():
     problems = []
     for path in check_links.collect_markdown():
