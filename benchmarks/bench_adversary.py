@@ -1,0 +1,93 @@
+"""Measured worst-case constants vs t, via the annealing adversary search.
+
+Runs the ``repro-bench adversary`` series (one simulated-annealing walk
+over crash/churn scenario space per ``(kernel family, t)`` cell,
+maximizing the measured communication ratio against the Table 1
+envelope -- see :mod:`repro.check.search`) and writes the committed
+``BENCH_adversary.json`` trajectory artifact (schema validated by
+``tests/test_bench_artifacts.py``)::
+
+    python benchmarks/bench_adversary.py                # full grid -> artifact
+    python benchmarks/bench_adversary.py --quick        # small grid, no artifact
+    python benchmarks/bench_adversary.py --jobs 4       # parallel, same rows
+
+Every row records the per-``t`` worst measured ratio, its gain over the
+failure-free baseline, and the *measured constant* (worst observed
+communication as a multiple of the instance's envelope expression) --
+the constant-vs-t curve the paper's theorems bound but do not report.
+Rows are deterministic given the seed, so re-running regenerates the
+artifact bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import date
+from pathlib import Path
+
+from repro.bench.runner import format_table
+from repro.bench.series import adversary_spec
+from repro.bench.sweep import run_sweep
+
+SCHEMA = "repro-bench-adversary/1"
+
+
+def headline(rows: list[dict]) -> dict:
+    """The cell with the largest adversary-induced gain over baseline."""
+    top = max(rows, key=lambda r: (r["gain"], r["worst_ratio"]))
+    return {
+        "family": top["family"],
+        "n": top["n"],
+        "t": top["t"],
+        "worst_ratio": top["worst_ratio"],
+        "baseline_ratio": top["baseline_ratio"],
+        "gain": top["gain"],
+        "measured_constant": top["measured_constant"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_adversary.json",
+                        help="artifact path (default BENCH_adversary.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid; skip writing the artifact")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (rows are jobs-independent)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search seed (default 0)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        spec = adversary_spec(n=16, ts=[1, 2], seed=args.seed, budget=20)
+    else:
+        spec = adversary_spec(seed=args.seed)
+    report = run_sweep(spec, jobs=args.jobs)
+    rows = report.rows()
+    print(format_table(rows))
+    head = headline(rows)
+    print(
+        f"\nheadline: {head['family']} n={head['n']} t={head['t']}: "
+        f"worst ratio {head['worst_ratio']:.4f} vs baseline "
+        f"{head['baseline_ratio']:.4f} (gain {head['gain']:+.4f}; "
+        f"measured constant {head['measured_constant']:.3f}x envelope)"
+    )
+    if args.quick:
+        return 0
+    artifact = {
+        "schema": SCHEMA,
+        "generated": date.today().isoformat(),
+        "command": "python benchmarks/bench_adversary.py",
+        "python": sys.version.split()[0],
+        "headline": head,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

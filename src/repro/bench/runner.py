@@ -71,6 +71,10 @@ EXPERIMENTS = {
         series.fuzz_spec,
         "Differential fuzz: backend parity + safety and paper-bound oracles",
     ),
+    "adversary": (
+        series.adversary_spec,
+        "Adversary search: annealed worst-case constants vs t (crash model)",
+    ),
     "smoke": (
         series.smoke_spec,
         "Profiling smoke: a seconds-scale Table 1 slice (see `profile`)",

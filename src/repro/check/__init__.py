@@ -27,6 +27,13 @@ the gap mechanically:
   each mutation, down to a minimal scenario that still trips the same
   oracle, emitted as a self-contained trace artifact that
   :func:`repro.trace.replay_trace` reproduces anywhere;
+* :mod:`repro.check.search` -- the *optimization-guided* complement to
+  blind fuzzing: simulated annealing (or greedy hill-climb) over
+  scenario space with grow+shrink moves, maximizing the measured bound
+  ratio from the paper-bound certificates; ``python -m repro.check
+  --search`` / ``repro-bench adversary``, with the worst scenarios
+  emitted as replayable trace artifacts and regression-tested from
+  ``tests/corpus/``;
 * :mod:`repro.check.cli` -- ``python -m repro.check --seed 0 --budget
   200`` (deterministic given ``--seed``, parallel via the sweep
   scheduler); the same series runs as ``repro-bench fuzz`` and as the
@@ -47,20 +54,38 @@ from repro.check.oracles import (
     check_parity,
     run_oracles,
 )
+from repro.check.driver import sample_instance
+from repro.check.search import (
+    SearchConfig,
+    SearchResult,
+    build_search_spec,
+    make_search_config,
+    record_search_trace,
+    run_search,
+    search_unit,
+)
 from repro.check.shrink import ShrinkResult, emit_artifact, shrink_scenario
 
 __all__ = [
     "FAMILIES",
     "FuzzConfig",
     "OracleViolation",
+    "SearchConfig",
+    "SearchResult",
     "ShrinkResult",
     "bound_certificate",
     "build_fuzz_spec",
+    "build_search_spec",
     "check_parity",
     "emit_artifact",
     "fuzz_unit",
+    "make_search_config",
+    "record_search_trace",
     "run_config",
     "run_oracles",
+    "run_search",
     "sample_config",
+    "sample_instance",
+    "search_unit",
     "shrink_scenario",
 ]

@@ -6,6 +6,8 @@ Usage::
     python -m repro.check --seed 7 --budget 50 --jobs 4    # parallel, same rows
     python -m repro.check --seed 0 --only 13               # replay one config
     python -m repro.check --families gossip,scv --tcp      # narrow + real sockets
+    python -m repro.check --search --seed 0                # adversary search
+    python -m repro.check --search --objective comm --moves crash --budget 200
 
 The run is deterministic given ``--seed``: configuration ``i`` is a
 pure function of ``(seed, i)``, so a violation reported by the nightly
@@ -16,6 +18,14 @@ minimal one (greedy deletion/narrowing, re-running after each
 mutation) and written to ``--out`` as a self-contained trace artifact
 that ``repro.trace.replay_trace(path)`` reproduces anywhere; the exit
 status is non-zero.
+
+``--search`` switches from blind fuzzing to the optimization-guided
+adversary search of :mod:`repro.check.search`: one simulated-annealing
+(or ``--method greedy``) walk per family over scenario space,
+maximizing the measured bound ratio, with the top-``k`` worst scenarios
+emitted as self-contained replayable trace artifacts (search
+trajectory in ``Trace.meta["repro.search"]``).  Deterministic given
+``--seed``, jobs-independent down to the artifact bytes.
 
 Long budgets used to print nothing until the end; now a throttled
 heartbeat (configs done/budget, configs/sec, eta, worker utilization,
@@ -37,6 +47,15 @@ from repro.check.driver import (
     build_fuzz_spec,
     describe_fuzz_outcome,
     sample_config,
+)
+from repro.check.search import (
+    METHODS,
+    MOVE_SETS,
+    OBJECTIVES,
+    SEARCH_BACKENDS,
+    build_search_spec,
+    describe_search_outcome,
+    record_search_trace,
 )
 from repro.check.shrink import emit_artifact, shrink_scenario
 from repro.obs import ProgressReporter
@@ -111,6 +130,59 @@ def _parse_args(argv) -> argparse.Namespace:
         "--max-shrink-runs", type=int, default=150,
         help="re-run budget per shrink (default 150)",
     )
+    search = parser.add_argument_group(
+        "adversary search (--search)",
+        "annealing over scenario space for the worst measured bound ratio",
+    )
+    search.add_argument(
+        "--search", action="store_true",
+        help=(
+            "run the optimization-guided adversary search instead of blind "
+            "fuzzing: one walk per family, --budget scenario evaluations each"
+        ),
+    )
+    search.add_argument(
+        "--method", choices=METHODS, default="anneal",
+        help="optimizer: simulated annealing or greedy hill-climb with "
+             "restarts (default anneal)",
+    )
+    search.add_argument(
+        "--objective", choices=OBJECTIVES, default="max",
+        help=(
+            "what to maximize: rounds-ratio, comm-ratio, or the larger of "
+            "the two (default max; use comm to climb the communication "
+            "constant on the oblivious-schedule families)"
+        ),
+    )
+    search.add_argument(
+        "--moves", choices=MOVE_SETS, default="all",
+        help=(
+            "move set: all fault classes, or crash/churn only to stay "
+            "inside the paper's crash model (default all)"
+        ),
+    )
+    search.add_argument(
+        "--backend", choices=SEARCH_BACKENDS, default="auto",
+        help=(
+            "evaluation backend (default auto: vec for kernel families "
+            "when numpy is present, otherwise the optimized engine); every "
+            "25th evaluation is cross-verified on a second backend"
+        ),
+    )
+    search.add_argument(
+        "--top-k", type=int, default=3, metavar="K",
+        help="adversarial scenarios emitted as trace artifacts per family "
+             "(default 3)",
+    )
+    search.add_argument(
+        "--n", type=int, default=None,
+        help="pin the instance size (default: sampled per family, the same "
+             "distribution the fuzzer draws from)",
+    )
+    search.add_argument(
+        "--t", type=int, default=None,
+        help="pin the instance fault bound (default: sampled)",
+    )
     return parser.parse_args(argv)
 
 
@@ -135,9 +207,68 @@ def _backends_tuple(arg: str):
     return names or DEFAULT_BACKENDS
 
 
+def _search_main(args, families) -> int:
+    """The ``--search`` mode: one adversary search per family."""
+    spec = build_search_spec(
+        args.seed,
+        args.budget,
+        families=families,
+        method=args.method,
+        backend=args.backend,
+        moves=args.moves,
+        objective=args.objective,
+        n=args.n,
+        t=args.t,
+        top_k=args.top_k,
+    )
+    reporter = ProgressReporter(
+        total=len(spec.expand()),
+        label="repro.check --search",
+        jobs=args.jobs,
+        describe=describe_search_outcome,
+        enabled=args.progress,
+    )
+    report = run_sweep(spec, jobs=args.jobs, progress=reporter.unit_done)
+    reporter.close()
+    rows = report.rows()
+    print(
+        f"repro.check --search: {len(rows)} families x {args.budget} "
+        f"evaluations ({args.method}, objective={args.objective}, "
+        f"moves={args.moves}, seed={args.seed}) "
+        f"[{report.elapsed:.1f}s, jobs={report.jobs}]"
+    )
+    for row in rows:
+        print(
+            f"  {row['family']:>16} (n={row['n']}, t={row['t']}, "
+            f"{row['backend']}): baseline {row['baseline_energy']:.4f} -> "
+            f"best {row['best_energy']:.4f} (gain {row['gain']:+.4f}, "
+            f"rounds-ratio {row['best_rounds_ratio']:.4f}, comm-ratio "
+            f"{row['best_comm_ratio']:.4f}, faults {row['faults']}, "
+            f"{row['evaluations']} runs, {row['spot_checks']} spot-checks)"
+        )
+        # Top-k adversarial scenarios -> self-contained replayable
+        # artifacts, written in row order (jobs-independent bytes).
+        for entry in row["top"]:
+            path = record_search_trace(row, entry, args.out)
+            print(
+                f"    #{entry['rank']} energy {entry['energy']:.4f} "
+                f"(step {entry['step']}): {path}"
+            )
+    best = max(rows, key=lambda r: r["best_energy"], default=None)
+    if best is not None:
+        print(
+            f"worst case overall: {best['family']} at "
+            f"{best['best_energy']:.4f} "
+            f"(replay any artifact with repro.trace.replay_trace)"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     families = _families_tuple(args.families)
+    if args.search:
+        return _search_main(args, families)
     backends = _backends_tuple(args.backends)
     if args.tcp and "tcp" not in backends:
         backends = backends + ("tcp",)

@@ -48,6 +48,7 @@ __all__ = [
     "fuzz_unit",
     "run_config",
     "sample_config",
+    "sample_instance",
 ]
 
 #: Every protocol family the driver covers; ``sample_config`` cycles
@@ -102,56 +103,71 @@ class FuzzConfig:
         return replace(self, scenario=scenario)
 
 
-def _sample_instance(family: str, rng: random.Random, seed: int) -> dict:
-    """A random JSON-safe protocol recipe for ``family``."""
+def sample_instance(
+    family: str,
+    rng: random.Random,
+    seed: int,
+    *,
+    n: Optional[int] = None,
+    t: Optional[int] = None,
+) -> dict:
+    """A random JSON-safe protocol recipe for ``family``.
+
+    The single instance distribution shared by the blind fuzzer
+    (:func:`sample_config`) and the adversary search
+    (:mod:`repro.check.search`), so "a random instance of family X"
+    means the same thing to both.  With ``n``/``t`` ``None`` the shape
+    is drawn from ``rng`` exactly as the fuzzer always has (the
+    pin test in ``tests/test_search.py`` freezes that stream); passing
+    either pins it instead -- the search's per-``t`` sweeps use this to
+    hold the instance fixed while only the scenario varies.
+    """
+
+    def shape(n_lo: int, n_hi: int, t_cap) -> tuple[int, int]:
+        size = n if n is not None else rng.randrange(n_lo, n_hi)
+        bound = t if t is not None else rng.randrange(1, t_cap(size))
+        return size, bound
+
     if family == "consensus-few":
-        n = rng.randrange(20, 56)
-        t = rng.randrange(1, (n - 1) // 5 + 1)
-        inputs = [rng.randint(0, 1) for _ in range(n)]
-        return {"name": "consensus", "inputs": inputs, "t": t, "algorithm": "few"}
+        n_, t_ = shape(20, 56, lambda size: (size - 1) // 5 + 1)
+        inputs = [rng.randint(0, 1) for _ in range(n_)]
+        return {"name": "consensus", "inputs": inputs, "t": t_, "algorithm": "few"}
     if family == "consensus-many":
-        n = rng.randrange(16, 40)
-        t = rng.randrange(1, max(2, n // 2))
-        inputs = [rng.randint(0, 1) for _ in range(n)]
-        return {"name": "consensus", "inputs": inputs, "t": t, "algorithm": "many"}
+        n_, t_ = shape(16, 40, lambda size: max(2, size // 2))
+        inputs = [rng.randint(0, 1) for _ in range(n_)]
+        return {"name": "consensus", "inputs": inputs, "t": t_, "algorithm": "many"}
     if family == "aea":
-        n = rng.randrange(24, 60)
-        t = rng.randrange(1, max(2, n // 6 + 1))
-        inputs = [rng.randint(0, 1) for _ in range(n)]
-        return {"name": "aea", "inputs": inputs, "t": t}
+        n_, t_ = shape(24, 60, lambda size: max(2, size // 6 + 1))
+        inputs = [rng.randint(0, 1) for _ in range(n_)]
+        return {"name": "aea", "inputs": inputs, "t": t_}
     if family == "scv":
-        n = rng.randrange(20, 56)
-        t = rng.randrange(1, (n - 1) // 5 + 1)
-        holders = sorted(rng.sample(range(n), max(3 * n // 5 + 1, 7 * n // 10)))
-        return {"name": "scv", "n": n, "t": t, "holders": holders,
+        n_, t_ = shape(20, 56, lambda size: (size - 1) // 5 + 1)
+        holders = sorted(rng.sample(range(n_), max(3 * n_ // 5 + 1, 7 * n_ // 10)))
+        return {"name": "scv", "n": n_, "t": t_, "holders": holders,
                 "common_value": 1}
     if family == "gossip":
-        n = rng.randrange(20, 50)
-        t = rng.randrange(1, (n - 1) // 5 + 1)
-        rumors = [f"rumor-{seed}-{i}" for i in range(n)]
-        return {"name": "gossip", "rumors": rumors, "t": t}
+        n_, t_ = shape(20, 50, lambda size: (size - 1) // 5 + 1)
+        rumors = [f"rumor-{seed}-{i}" for i in range(n_)]
+        return {"name": "gossip", "rumors": rumors, "t": t_}
     if family == "checkpointing":
-        n = rng.randrange(20, 50)
-        t = rng.randrange(1, (n - 1) // 5 + 1)
-        return {"name": "checkpointing", "n": n, "t": t}
+        n_, t_ = shape(20, 50, lambda size: (size - 1) // 5 + 1)
+        return {"name": "checkpointing", "n": n_, "t": t_}
     if family == "ab-consensus":
-        n = rng.randrange(16, 40)
-        t = rng.randrange(1, max(2, (n - 1) // 2))
-        byz_cap = min(t, max(1, int(n**0.5)))
-        byz = sorted(rng.sample(range(n), rng.randrange(0, byz_cap + 1)))
-        inputs = [rng.randint(0, 1) for _ in range(n)]
+        n_, t_ = shape(16, 40, lambda size: max(2, (size - 1) // 2))
+        byz_cap = min(t_, max(1, int(n_**0.5)))
+        byz = sorted(rng.sample(range(n_), rng.randrange(0, byz_cap + 1)))
+        inputs = [rng.randint(0, 1) for _ in range(n_)]
         return {
             "name": "ab_consensus",
             "inputs": inputs,
-            "t": t,
+            "t": t_,
             "byzantine": byz,
             "behaviour": rng.choice(("silent", "equivocate", "spam")),
         }
     if family == "flooding":
-        n = rng.randrange(20, 57)
-        t = rng.randrange(1, max(2, n // 4))
-        inputs = [rng.randrange(0, 2**16) for _ in range(n)]
-        return {"name": "flooding", "inputs": inputs, "t": t}
+        n_, t_ = shape(20, 57, lambda size: max(2, size // 4))
+        inputs = [rng.randrange(0, 2**16) for _ in range(n_)]
+        return {"name": "flooding", "inputs": inputs, "t": t_}
     raise ValueError(f"unknown family {family!r}")
 
 
@@ -230,7 +246,7 @@ def sample_config(
     """
     rng = random.Random(derive_seed(seed, ("repro.check", index)))
     family = families[index % len(families)]
-    recipe = _sample_instance(family, rng, seed)
+    recipe = sample_instance(family, rng, seed)
     n, t = _instance_shape(recipe)
     params = ProtocolParams(n=n, t=t, seed=recipe.get("overlay_seed", 0))
     horizon = _fault_horizon(family, params)

@@ -388,6 +388,209 @@ class Scenario:
                     )
                 )
 
+    # -- growing (repro.check.search) ------------------------------------
+
+    def grow_candidates(
+        self,
+        *,
+        max_round: int,
+        crash_budget: Optional[int] = None,
+        victims: Optional[Sequence[int]] = None,
+        rng: Optional[random.Random] = None,
+        samples: int = 8,
+    ):
+        """Yield strictly-*larger* one-mutation variants of this scenario.
+
+        The inverse of :meth:`shrink_candidates`: where the shrinker
+        deletes, demotes and narrows, the grower adds, promotes and
+        widens.  Together they form the move set of the adversary search
+        (:mod:`repro.check.search`), which walks scenario space in both
+        directions looking for the worst measured bound ratio.
+
+        The move operators, each preserving :meth:`validate` and
+        strictly increasing :meth:`shrink_size` (the exact inverses of
+        the shrink operators, in the same numbering):
+
+        1. **add** a crash / churn / omission / partition entry;
+        2. **promote** a plain crash to churn (grow a rejoin leg);
+        3. **extend** an omission's round list or widen a partition's
+           window by one round;
+        4. **attach** a partial-send ``keep`` budget to a crash or churn
+           whose budget is ``None``.
+
+        Crash-model discipline: when ``crash_budget`` is given, no
+        candidate's :meth:`fault_budget` exceeds it -- the cap is the
+        instance's ``t``, so the search never leaves the paper's crash
+        model by fault *count* (link faults remain available as
+        explicitly out-of-model moves for degradation studies).
+        Crash/churn victims are drawn from ``victims`` (default: all
+        pids), which callers use to exclude Byzantine nodes.
+
+        Event rounds are drawn in ``[0, max_round)`` (partition windows
+        may extend one past it, mirroring :func:`scenario_schedule`).
+        All randomness comes from ``rng`` (default ``Random(0)``); the
+        module-level ``random`` state is never touched, so the yielded
+        sequence is a pure function of the arguments.  Up to ``samples``
+        candidates are yielded; duplicates are suppressed.
+        """
+        if max_round < 1:
+            raise ValueError(f"grow_candidates requires max_round >= 1, got {max_round}")
+        if rng is None:
+            rng = random.Random(0)
+
+        def variant(**changes) -> "Scenario":
+            fields = {
+                "n": self.n,
+                "name": self.name,
+                "crashes": self.crashes,
+                "omissions": self.omissions,
+                "partitions": self.partitions,
+                "churn": self.churn,
+            }
+            fields.update(changes)
+            return Scenario(**fields)
+
+        pool = list(victims) if victims is not None else list(range(self.n))
+        taken = {event.pid for event in self.crashes}
+        taken.update(spec.pid for spec in self.churn)
+        free = [pid for pid in pool if pid not in taken]
+        budget_room = (
+            crash_budget is None or self.fault_budget() < crash_budget
+        )
+
+        def keep_draw() -> Optional[int]:
+            return rng.choice((None, 0, 1, 2))
+
+        def add_crash() -> Optional["Scenario"]:
+            if not free or not budget_room:
+                return None
+            pid = free[rng.randrange(len(free))]
+            event = CrashEvent(pid, rng.randrange(max_round), keep_draw())
+            return variant(crashes=self.crashes + (event,))
+
+        def add_churn() -> Optional["Scenario"]:
+            if not free or not budget_room:
+                return None
+            pid = free[rng.randrange(len(free))]
+            crash_round = rng.randrange(max_round)
+            rejoin_round = crash_round + 1 + rng.randrange(6)
+            spec = ChurnSpec(pid, crash_round, rejoin_round, keep_draw())
+            return variant(churn=self.churn + (spec,))
+
+        def add_omission() -> Optional["Scenario"]:
+            if self.n < 2:
+                return None
+            src, dst = rng.sample(range(self.n), 2)
+            start = rng.randrange(max_round)
+            span = 1 + rng.randrange(3)
+            rounds = tuple(range(start, min(start + span, max_round)))
+            return variant(
+                omissions=self.omissions + (OmissionSpec(src, dst, rounds),)
+            )
+
+        def extend_omission() -> Optional["Scenario"]:
+            candidates = [
+                (i, spec)
+                for i, spec in enumerate(self.omissions)
+                if len(set(spec.rounds)) < max_round
+            ]
+            if not candidates:
+                return None
+            i, spec = candidates[rng.randrange(len(candidates))]
+            missing = [r for r in range(max_round) if r not in spec.rounds]
+            extra = missing[rng.randrange(len(missing))]
+            grown = OmissionSpec(
+                spec.src, spec.dst, tuple(sorted(spec.rounds + (extra,)))
+            )
+            return variant(
+                omissions=self.omissions[:i] + (grown,) + self.omissions[i + 1 :]
+            )
+
+        def add_partition() -> Optional["Scenario"]:
+            if self.n < 2:
+                return None
+            start = rng.randrange(max_round)
+            stop = min(start + 1 + rng.randrange(3), max_round + 1)
+            size = max(1, self.n // 2)
+            group = tuple(sorted(rng.sample(range(self.n), size)))
+            return variant(
+                partitions=self.partitions + (PartitionSpec(start, stop, (group,)),)
+            )
+
+        def widen_partition() -> Optional["Scenario"]:
+            candidates = []
+            for i, spec in enumerate(self.partitions):
+                if spec.start > 0:
+                    candidates.append(
+                        (i, PartitionSpec(spec.start - 1, spec.stop, spec.groups))
+                    )
+                if spec.stop <= max_round:
+                    candidates.append(
+                        (i, PartitionSpec(spec.start, spec.stop + 1, spec.groups))
+                    )
+            if not candidates:
+                return None
+            i, widened = candidates[rng.randrange(len(candidates))]
+            return variant(
+                partitions=self.partitions[:i]
+                + (widened,)
+                + self.partitions[i + 1 :]
+            )
+
+        def attach_keep() -> Optional["Scenario"]:
+            bare_crashes = [
+                (i, e) for i, e in enumerate(self.crashes) if e.keep is None
+            ]
+            bare_churn = [
+                (i, s) for i, s in enumerate(self.churn) if s.keep is None
+            ]
+            if not bare_crashes and not bare_churn:
+                return None
+            keep = rng.randrange(0, 4)
+            if bare_crashes and (
+                not bare_churn or rng.random() < 0.5
+            ):
+                i, event = bare_crashes[rng.randrange(len(bare_crashes))]
+                budgeted = CrashEvent(event.pid, event.round, keep)
+                return variant(
+                    crashes=self.crashes[:i] + (budgeted,) + self.crashes[i + 1 :]
+                )
+            i, spec = bare_churn[rng.randrange(len(bare_churn))]
+            budgeted = ChurnSpec(spec.pid, spec.crash_round, spec.rejoin_round, keep)
+            return variant(
+                churn=self.churn[:i] + (budgeted,) + self.churn[i + 1 :]
+            )
+
+        def promote_crash() -> Optional["Scenario"]:
+            if not self.crashes:
+                return None
+            i = rng.randrange(len(self.crashes))
+            event = self.crashes[i]
+            rejoin_round = event.round + 1 + rng.randrange(6)
+            spec = ChurnSpec(event.pid, event.round, rejoin_round, event.keep)
+            return variant(
+                crashes=self.crashes[:i] + self.crashes[i + 1 :],
+                churn=self.churn + (spec,),
+            )
+
+        moves = (
+            add_crash,
+            add_churn,
+            add_omission,
+            extend_omission,
+            add_partition,
+            widen_partition,
+            attach_keep,
+            promote_crash,
+        )
+        seen: set = set()
+        for _ in range(samples):
+            candidate = moves[rng.randrange(len(moves))]()
+            if candidate is None or candidate in seen:
+                continue
+            seen.add(candidate)
+            yield candidate
+
     # -- serialization ---------------------------------------------------
 
     def to_dict(self) -> dict:

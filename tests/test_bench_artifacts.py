@@ -31,24 +31,62 @@ ROW_FIELDS = {
 
 KNOWN_BACKENDS = {"sim-ref", "sim-opt", "vec"}
 
+#: Per-t worst-case rows written by ``benchmarks/bench_adversary.py``.
+ADVERSARY_ROW_FIELDS = {
+    "family": str,
+    "n": int,
+    "t": int,
+    "measure": str,
+    "budget": int,
+    "baseline_ratio": float,
+    "worst_ratio": float,
+    "gain": float,
+    "envelope_constant": float,
+    "measured_constant": float,
+    "worst_rounds_ratio": float,
+    "faults": int,
+    "evaluations": int,
+    "spot_checks": int,
+}
+
+ADVERSARY_KERNEL_FAMILIES = ("flooding", "gossip", "checkpointing")
+
 
 def artifacts():
     return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def perf_artifacts():
+    """Artifacts carrying per-backend throughput rows (not adversary)."""
+    return [
+        path
+        for path in artifacts()
+        if json.loads(path.read_text())["schema"] != "repro-bench-adversary/1"
+    ]
 
 
 def test_trajectory_artifacts_exist():
     names = [path.name for path in artifacts()]
     assert "BENCH_vec.json" in names
     assert "BENCH_engine.json" in names
+    assert "BENCH_adversary.json" in names
 
 
 @pytest.mark.parametrize(
     "path", artifacts(), ids=lambda p: p.name
 )
-def test_artifact_schema(path):
+def test_artifact_envelope(path):
     data = json.loads(path.read_text())
     assert data["schema"].startswith("repro-bench-"), data["schema"]
     assert data["rows"], "artifact has no measurement rows"
+    assert "headline" in data and "generated" in data
+
+
+@pytest.mark.parametrize(
+    "path", perf_artifacts(), ids=lambda p: p.name
+)
+def test_artifact_schema(path):
+    data = json.loads(path.read_text())
     for row in data["rows"]:
         for field, kind in ROW_FIELDS.items():
             assert field in row, f"{path.name}: row missing {field!r}"
@@ -61,7 +99,7 @@ def test_artifact_schema(path):
 
 
 @pytest.mark.parametrize(
-    "path", artifacts(), ids=lambda p: p.name
+    "path", perf_artifacts(), ids=lambda p: p.name
 )
 def test_artifact_backends_agree_per_instance(path):
     """Rows for the same (family, n, t) must report identical protocol
@@ -126,3 +164,62 @@ def test_engine_artifact_records_telemetry_overhead():
     assert overhead["backend"] == "sim-opt"
     assert overhead["disabled_sec"] > 0 and overhead["enabled_sec"] > 0
     assert overhead["enabled_over_disabled"] > 0
+
+
+def _adversary_data():
+    return json.loads((REPO_ROOT / "BENCH_adversary.json").read_text())
+
+
+def test_adversary_artifact_schema():
+    """``BENCH_adversary.json`` carries the full kernel-family x t grid
+    of annealed worst-case rows, each with a sane constant."""
+    data = _adversary_data()
+    assert data["schema"] == "repro-bench-adversary/1"
+    rows = data["rows"]
+    grid = set()
+    for row in rows:
+        for field, kind in ADVERSARY_ROW_FIELDS.items():
+            assert field in row, f"adversary row missing {field!r}"
+            assert isinstance(row[field], kind), (
+                f"{field}={row[field]!r} is not {kind.__name__}"
+            )
+        assert row["family"] in ADVERSARY_KERNEL_FAMILIES
+        assert 0 < row["t"] < row["n"]
+        grid.add((row["family"], row["t"]))
+        # The search starts from the failure-free baseline, so the worst
+        # it reports can never fall below it.
+        assert row["worst_ratio"] >= row["baseline_ratio"]
+        assert row["gain"] >= 0
+        assert abs(row["gain"] - (row["worst_ratio"] - row["baseline_ratio"])) < 1e-6
+        assert row["measured_constant"] > 0
+        assert row["worst_ratio"] <= 1.0, "a row breaching the envelope is a bug"
+        assert row["evaluations"] > 0 and row["spot_checks"] >= 1
+    ts = {t for _, t in grid}
+    for family in ADVERSARY_KERNEL_FAMILIES:
+        assert {(family, t) for t in ts} <= grid, f"{family}: incomplete t sweep"
+
+
+def test_adversary_headline_is_derivable():
+    data = _adversary_data()
+    head = data["headline"]
+    top = max(data["rows"], key=lambda r: (r["gain"], r["worst_ratio"]))
+    for field in ("family", "n", "t", "worst_ratio", "baseline_ratio",
+                  "gain", "measured_constant"):
+        assert head[field] == top[field]
+
+
+def test_adversary_finds_fault_sensitivity():
+    """The artifact records a strictly positive adversary gain (crash
+    timing measurably increases communication) for the inquiry-driven
+    families, and certifies flooding as insensitive."""
+    data = _adversary_data()
+    by_family: dict[str, list] = {}
+    for row in data["rows"]:
+        by_family.setdefault(row["family"], []).append(row)
+    assert all(row["gain"] == 0.0 for row in by_family["flooding"])
+    for family in ("gossip", "checkpointing"):
+        assert any(row["gain"] > 0 for row in by_family[family]), (
+            f"{family}: adversary search found no fault sensitivity"
+        )
+        assert all(row["faults"] >= 1 or row["gain"] == 0
+                   for row in by_family[family])

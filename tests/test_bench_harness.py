@@ -94,6 +94,7 @@ class TestSeries:
             "net",
             "scenarios",
             "fuzz",
+            "adversary",
             "smoke",
         }
         assert set(EXPERIMENTS) == expected

@@ -1,0 +1,193 @@
+"""Satellite: property wall for the adversary-search move set.
+
+The search of :mod:`repro.check.search` walks scenario space with
+:meth:`Scenario.grow_candidates` (add/promote/extend/attach) and
+:meth:`Scenario.shrink_candidates` (delete/demote/narrow/simplify).
+Its termination and crash-model discipline rest on four invariants,
+checked here over random scenarios:
+
+* every grow move strictly **increases** ``shrink_size()`` and yields a
+  valid scenario;
+* every shrink candidate strictly **decreases** ``shrink_size()`` and
+  yields a valid scenario;
+* grow∘shrink round trips never exceed a declared crash budget
+  (``fault_budget() <= t`` is preserved by arbitrary interleavings);
+* every mutated scenario survives a JSON round trip by value.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import Scenario, scenario_schedule
+
+WALL = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MAX_ROUND = 10
+
+
+@st.composite
+def scenarios(draw):
+    """Random scenarios spanning every fault class, including empty."""
+    n = draw(st.integers(6, 20))
+    return scenario_schedule(
+        n,
+        seed=draw(st.integers(0, 10_000)),
+        crashes=draw(st.integers(0, 2)),
+        omission_links=draw(st.integers(0, 8)),
+        partition_windows=draw(st.integers(0, 2)),
+        churn_nodes=draw(st.integers(0, 2)),
+        max_round=MAX_ROUND,
+    )
+
+
+class TestGrowMoves:
+    @WALL
+    @given(scenario=scenarios(), rng_seed=st.integers(0, 10_000))
+    def test_grow_strictly_increases_size_and_stays_valid(
+        self, scenario, rng_seed
+    ):
+        size = scenario.shrink_size()
+        grown = list(
+            scenario.grow_candidates(
+                max_round=MAX_ROUND, rng=random.Random(rng_seed), samples=10
+            )
+        )
+        assert grown, "grow must always find a move below the budget cap"
+        for candidate in grown:
+            assert candidate.shrink_size() > size
+            candidate.validate()
+            assert candidate.n == scenario.n
+
+    @WALL
+    @given(scenario=scenarios(), rng_seed=st.integers(0, 10_000))
+    def test_grow_respects_crash_budget(self, scenario, rng_seed):
+        budget = scenario.fault_budget() + 1
+        for candidate in scenario.grow_candidates(
+            max_round=MAX_ROUND,
+            crash_budget=budget,
+            rng=random.Random(rng_seed),
+            samples=10,
+        ):
+            assert candidate.fault_budget() <= budget
+
+    @WALL
+    @given(scenario=scenarios(), rng_seed=st.integers(0, 10_000))
+    def test_grow_yields_distinct_candidates(self, scenario, rng_seed):
+        grown = list(
+            scenario.grow_candidates(
+                max_round=MAX_ROUND, rng=random.Random(rng_seed), samples=10
+            )
+        )
+        assert len(grown) == len(set(grown))
+        assert scenario not in grown
+
+    def test_grow_is_deterministic_given_rng(self):
+        scenario = scenario_schedule(
+            12, seed=5, crashes=1, omission_links=2, max_round=MAX_ROUND
+        )
+        a = list(
+            scenario.grow_candidates(
+                max_round=MAX_ROUND, rng=random.Random(7), samples=8
+            )
+        )
+        b = list(
+            scenario.grow_candidates(
+                max_round=MAX_ROUND, rng=random.Random(7), samples=8
+            )
+        )
+        assert a == b
+
+    def test_grow_requires_positive_window(self):
+        with pytest.raises(ValueError, match="max_round"):
+            list(Scenario(n=4).grow_candidates(max_round=0))
+
+    def test_victims_restrict_crash_and_churn_pids(self):
+        scenario = Scenario(n=10)
+        victims = (3, 4)
+        for candidate in scenario.grow_candidates(
+            max_round=MAX_ROUND,
+            victims=victims,
+            rng=random.Random(0),
+            samples=30,
+        ):
+            for event in candidate.crashes:
+                assert event.pid in victims
+            for spec in candidate.churn:
+                assert spec.pid in victims
+
+
+class TestShrinkMoves:
+    @WALL
+    @given(scenario=scenarios())
+    def test_shrink_strictly_decreases_size_and_stays_valid(self, scenario):
+        size = scenario.shrink_size()
+        for candidate in scenario.shrink_candidates():
+            assert candidate.shrink_size() < size
+            candidate.validate()
+
+    def test_empty_scenario_has_no_shrinks(self):
+        assert list(Scenario(n=4).shrink_candidates()) == []
+
+
+class TestRoundTrips:
+    @WALL
+    @given(
+        scenario=scenarios(),
+        rng_seed=st.integers(0, 10_000),
+        steps=st.integers(1, 6),
+    )
+    def test_grow_shrink_walk_stays_within_budget(
+        self, scenario, rng_seed, steps
+    ):
+        """Arbitrary grow/shrink interleavings preserve the crash cap --
+        the invariant the search's crash-model discipline rests on."""
+        budget = scenario.fault_budget() + 2
+        rng = random.Random(rng_seed)
+        current = scenario
+        for _ in range(steps):
+            grown = list(
+                current.grow_candidates(
+                    max_round=MAX_ROUND, crash_budget=budget, rng=rng, samples=4
+                )
+            )
+            shrunk = list(current.shrink_candidates())
+            pool = grown + shrunk
+            if not pool:
+                break
+            current = pool[rng.randrange(len(pool))]
+            current.validate()
+            assert current.fault_budget() <= budget
+
+    @WALL
+    @given(scenario=scenarios(), rng_seed=st.integers(0, 10_000))
+    def test_mutants_survive_json_round_trip(self, scenario, rng_seed):
+        mutants = list(
+            scenario.grow_candidates(
+                max_round=MAX_ROUND, rng=random.Random(rng_seed), samples=6
+            )
+        )
+        mutants.extend(scenario.shrink_candidates())
+        for mutant in mutants:
+            assert Scenario.from_json(mutant.to_json()) == mutant
+
+    @WALL
+    @given(scenario=scenarios(), rng_seed=st.integers(0, 10_000))
+    def test_grow_then_shrink_can_return_home(self, scenario, rng_seed):
+        """Every grown candidate has the parent among its shrinks or at
+        least a strictly smaller neighbour -- the move set is closed, so
+        the search can always walk back down."""
+        for candidate in scenario.grow_candidates(
+            max_round=MAX_ROUND, rng=random.Random(rng_seed), samples=6
+        ):
+            shrinks = list(candidate.shrink_candidates())
+            assert shrinks, "grown scenarios must be shrinkable"
+            assert min(s.shrink_size() for s in shrinks) < candidate.shrink_size()
