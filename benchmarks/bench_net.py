@@ -7,7 +7,24 @@ same flooding-consensus workload as ``bench_engine_hotpath.py`` run on
 identical metrics (pinned by ``tests/test_net_runtime.py``); the gap is
 pure runtime overhead — frame encode/decode, hub routing, barrier
 control traffic — i.e. the price of real message passing.
+
+Run as a script it writes the ``BENCH_net.json`` artifact (validated by
+``tests/test_bench_artifacts.py``), whose headline is the *single-run*
+speedup from transport frame batching + payload interning on the TCP
+path — the ``batching=False`` arm writes and drains every frame
+individually (the pre-batching wire behaviour), the ``batching=True``
+arm coalesces each burst into one batch frame::
+
+    python benchmarks/bench_net.py           # -> BENCH_net.json
+    python benchmarks/bench_net.py --quick   # small grid, no artifact
 """
+
+import argparse
+import json
+import sys
+import time
+from datetime import date
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +32,8 @@ from repro import check_consensus
 from repro.baselines import FloodingConsensusProcess
 from repro.net import run_protocol_net
 from repro.sim import Engine, crash_schedule
+
+SCHEMA = "repro-bench-net/1"
 
 
 def _processes(n: int, t: int):
@@ -69,3 +88,116 @@ def test_consensus_protocol_by_backend(benchmark, backend):
     )
     check_consensus(result, inputs)
     benchmark.extra_info.update({"backend": backend, "messages": result.messages})
+
+
+# --------------------------------------------------------------------------
+# BENCH_net.json producer
+# --------------------------------------------------------------------------
+
+
+def measure(backend: str, n: int, t: int, batching=None) -> dict:
+    """Run one arm and return a row for the artifact.
+
+    ``batching`` is only meaningful on the TCP backend; ``sim`` and the
+    in-memory hub never touch the wire, so their rows record ``None``.
+    """
+    start = time.perf_counter()
+    if backend == "sim":
+        result = Engine(_processes(n, t), _adversary(n, t)).run()
+    else:
+        result = run_protocol_net(
+            _processes(n, t),
+            _adversary(n, t),
+            transport="memory" if backend == "net" else "tcp",
+            batching=True if batching is None else batching,
+        )
+    elapsed = time.perf_counter() - start
+    check_consensus(result, [i % 2 for i in range(n)])
+    return {
+        "family": "flooding",
+        "n": n,
+        "t": t,
+        "backend": backend,
+        "batching": batching if backend == "tcp" else None,
+        "msgs_per_sec": int(result.messages / max(elapsed, 1e-9)),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "elapsed_sec": round(elapsed, 4),
+        "completed": result.completed,
+    }
+
+
+def run_grid(quick: bool = False) -> list:
+    """All arms at each n: sim and memory-hub baselines, then TCP with
+    batching off (one header+body write per frame, the pre-batching
+    wire) and on (bursts coalesced into batch frames with payload
+    interning)."""
+    sizes = [30] if quick else [50, 100, 200]
+    t = 3
+    rows = []
+    for n in sizes:
+        arms = [
+            measure("sim", n, t),
+            measure("net", n, t),
+            measure("tcp", n, t, batching=False),
+            measure("tcp", n, t, batching=True),
+        ]
+        base = arms[0]
+        for row in arms[1:]:
+            # Parity across arms is the point: same metrics, different cost.
+            for key in ("rounds", "messages", "bits", "completed"):
+                assert row[key] == base[key], (key, row, base)
+        rows.extend(arms)
+    return rows
+
+
+def headline(rows: list) -> str:
+    big = max(row["n"] for row in rows)
+    at_big = {
+        (row["backend"], row["batching"]): row for row in rows if row["n"] == big
+    }
+    off = at_big[("tcp", False)]
+    on = at_big[("tcp", True)]
+    sim = at_big[("sim", None)]
+    speedup = on["msgs_per_sec"] / max(off["msgs_per_sec"], 1)
+    overhead = sim["msgs_per_sec"] / max(on["msgs_per_sec"], 1)
+    return (
+        f"frame batching+interning: {speedup:.2f}x single-run TCP speedup "
+        f"at n={big} ({off['msgs_per_sec']:,} -> {on['msgs_per_sec']:,} "
+        f"msgs/sec); batched TCP is {overhead:.1f}x off simulator wall-clock"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_net.json",
+    )
+    parser.add_argument("--quick", action="store_true", help="small grid")
+    args = parser.parse_args(argv)
+
+    rows = run_grid(quick=args.quick)
+    artifact = {
+        "schema": SCHEMA,
+        "generated": date.today().isoformat(),
+        "command": "python benchmarks/bench_net.py"
+        + (" --quick" if args.quick else ""),
+        "python": sys.version.split()[0],
+        "headline": headline(rows),
+        "rows": rows,
+    }
+    if args.quick:
+        json.dump(artifact, sys.stdout, indent=2)
+        print()
+    else:
+        args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    print(artifact["headline"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

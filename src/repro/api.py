@@ -79,13 +79,16 @@ from repro.sim.process import Process
 from repro.trace import Trace, TraceChecker, TraceRecorder
 
 __all__ = [
+    "PreparedRun",
     "build_ab_consensus_processes",
     "build_aea_processes",
     "build_checkpointing_processes",
     "build_consensus_processes",
     "build_flooding_processes",
     "build_gossip_processes",
+    "build_recipe_processes",
     "build_scv_processes",
+    "prepare_recipe",
     "rebuild_trace_processes",
     "run_recipe",
     "run_aea",
@@ -779,6 +782,71 @@ def run_ab_consensus(
     )
 
 
+def build_recipe_processes(
+    protocol: dict,
+) -> tuple[list[Process], int, frozenset[int]]:
+    """Rebuild ``(processes, horizon, byzantine)`` from a protocol recipe.
+
+    The single registry behind every consumer of recipe dicts -- trace
+    replay (:func:`rebuild_trace_processes`), the fuzzer's dispatch
+    (:func:`run_recipe`) and the run-server's remote workers
+    (:mod:`repro.serve`), which must rebuild process shards *identical*
+    to what the submitting client would build locally.  Deterministic in
+    the recipe, by the same argument as the ``build_*_processes``
+    builders.
+    """
+    recipe = dict(protocol)
+    name = recipe.pop("name", None)
+    overlay_seed = recipe.get("overlay_seed", 0)
+    if name == "consensus":
+        processes, horizon = build_consensus_processes(
+            recipe["inputs"],
+            recipe["t"],
+            algorithm=recipe.get("algorithm", "auto"),
+            overlay_seed=overlay_seed,
+        )
+        return processes, horizon, frozenset()
+    if name == "flooding":
+        processes, horizon = build_flooding_processes(
+            recipe["inputs"], recipe["t"]
+        )
+        return processes, horizon, frozenset()
+    if name == "aea":
+        processes, horizon = build_aea_processes(
+            recipe["inputs"], recipe["t"], overlay_seed=overlay_seed
+        )
+        return processes, horizon, frozenset()
+    if name == "scv":
+        processes, horizon = build_scv_processes(
+            recipe["n"],
+            recipe["t"],
+            recipe["holders"],
+            recipe.get("common_value", 1),
+            overlay_seed=overlay_seed,
+        )
+        return processes, horizon, frozenset()
+    if name == "gossip":
+        processes, horizon = build_gossip_processes(
+            recipe["rumors"], recipe["t"], overlay_seed=overlay_seed
+        )
+        return processes, horizon, frozenset()
+    if name == "checkpointing":
+        processes, horizon = build_checkpointing_processes(
+            recipe["n"], recipe["t"], overlay_seed=overlay_seed
+        )
+        return processes, horizon, frozenset()
+    if name == "ab_consensus":
+        processes, horizon = build_ab_consensus_processes(
+            recipe["inputs"],
+            recipe["t"],
+            byzantine=recipe.get("byzantine", ()),
+            behaviour=recipe.get("behaviour", "equivocate"),
+            overlay_seed=overlay_seed,
+        )
+        return processes, horizon, frozenset(recipe.get("byzantine", ()))
+    raise ValueError(f"cannot rebuild processes for protocol {name!r}")
+
+
 def rebuild_trace_processes(
     protocol: dict,
 ) -> tuple[list[Process], frozenset[int]]:
@@ -786,57 +854,88 @@ def rebuild_trace_processes(
 
     The inverse of the ``protocol`` dicts the ``run_*`` entry points
     record into traces; used by :func:`repro.trace.replay_trace` for
-    standalone replays.  Deterministic in the recipe, by the same
-    argument as the ``build_*_processes`` builders.
+    standalone replays.  Thin view over :func:`build_recipe_processes`.
     """
-    recipe = dict(protocol)
-    name = recipe.pop("name", None)
-    overlay_seed = recipe.get("overlay_seed", 0)
-    if name == "consensus":
-        processes, _ = build_consensus_processes(
-            recipe["inputs"],
-            recipe["t"],
-            algorithm=recipe.get("algorithm", "auto"),
-            overlay_seed=overlay_seed,
-        )
-        return processes, frozenset()
-    if name == "flooding":
-        processes, _ = build_flooding_processes(recipe["inputs"], recipe["t"])
-        return processes, frozenset()
-    if name == "aea":
-        processes, _ = build_aea_processes(
-            recipe["inputs"], recipe["t"], overlay_seed=overlay_seed
-        )
-        return processes, frozenset()
-    if name == "scv":
-        processes, _ = build_scv_processes(
-            recipe["n"],
-            recipe["t"],
-            recipe["holders"],
-            recipe.get("common_value", 1),
-            overlay_seed=overlay_seed,
-        )
-        return processes, frozenset()
-    if name == "gossip":
-        processes, _ = build_gossip_processes(
-            recipe["rumors"], recipe["t"], overlay_seed=overlay_seed
-        )
-        return processes, frozenset()
-    if name == "checkpointing":
-        processes, _ = build_checkpointing_processes(
-            recipe["n"], recipe["t"], overlay_seed=overlay_seed
-        )
-        return processes, frozenset()
+    processes, _horizon, byzantine = build_recipe_processes(protocol)
+    return processes, byzantine
+
+
+class PreparedRun:
+    """One recipe resolved into everything a coordinator needs.
+
+    Produced by :func:`prepare_recipe`: the process vector, the resolved
+    adversary, the Byzantine set and the per-family execution defaults
+    (``max_rounds``, crash handling), all derived exactly as the
+    ``run_*`` entry points derive them -- which is what makes a
+    run-server session's result ``check_parity``-identical to
+    ``run_recipe(protocol, backend="sim")`` with the same arguments.
+    """
+
+    __slots__ = (
+        "processes",
+        "adversary",
+        "byzantine",
+        "scenario",
+        "max_rounds",
+        "fast_forward",
+        "n",
+    )
+
+    def __init__(
+        self, processes, adversary, byzantine, scenario, max_rounds, fast_forward
+    ):
+        self.processes = processes
+        self.adversary = adversary
+        self.byzantine = byzantine
+        self.scenario = scenario
+        self.max_rounds = max_rounds
+        self.fast_forward = fast_forward
+        self.n = len(processes)
+
+
+#: Families whose ``run_*`` entry point defaults to 200k ``max_rounds``
+#: (their fault-free round counts grow fastest with ``n``); everything
+#: else defaults to 100k.  Mirrors the entry-point signatures.
+_LONG_FAMILIES = frozenset({"consensus", "checkpointing"})
+
+
+def prepare_recipe(
+    protocol: dict,
+    *,
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
+    seed: int = 0,
+    scenario: Optional[Scenario | dict] = None,
+    max_rounds: Optional[int] = None,
+    fast_forward: bool = True,
+) -> PreparedRun:
+    """Resolve a recipe + execution parameters into a :class:`PreparedRun`.
+
+    Accepts the execution subset that is meaningful for a remote
+    submission (fault schedule, seed, scenario, round bound) and applies
+    the same per-family defaults as :func:`run_recipe`: ``max_rounds``
+    defaults to 200k for the consensus/checkpointing families and 100k
+    otherwise, and ``ab_consensus`` ignores ``crashes`` (its fault
+    budget is the recipe's ``byzantine`` set).  ``scenario`` may be a
+    :class:`~repro.scenarios.Scenario` or its ``to_dict()`` form (the
+    JSON-safe shape a serve client submits).
+    """
+    name = protocol.get("name")
+    processes, horizon, byzantine = build_recipe_processes(protocol)
+    n = len(processes)
+    t = protocol.get("t", 0)
+    if isinstance(scenario, dict):
+        scenario = Scenario.from_dict(scenario)
     if name == "ab_consensus":
-        processes, _ = build_ab_consensus_processes(
-            recipe["inputs"],
-            recipe["t"],
-            byzantine=recipe.get("byzantine", ()),
-            behaviour=recipe.get("behaviour", "equivocate"),
-            overlay_seed=overlay_seed,
+        adversary, scenario = _resolve_faults(None, scenario, n, t, seed, 1)
+    else:
+        adversary, scenario = _resolve_faults(
+            crashes, scenario, n, t, seed, horizon
         )
-        return processes, frozenset(recipe.get("byzantine", ()))
-    raise ValueError(f"cannot rebuild processes for protocol {name!r}")
+    if max_rounds is None:
+        max_rounds = 200_000 if name in _LONG_FAMILIES else 100_000
+    return PreparedRun(
+        processes, adversary, byzantine, scenario, max_rounds, fast_forward
+    )
 
 
 def run_recipe(protocol: dict, **execution) -> RunResult:

@@ -11,7 +11,7 @@ pluggable transports:
   socket-level runs, including multi-OS-process deployments where worker
   processes host disjoint shards of the node set.
 
-A coordinator task (:class:`~repro.net.runtime.Synchronizer`) implements
+A coordinator task (:class:`~repro.net.runtime.Session`) implements
 the paper's synchronous model as a barrier per round: every message sent
 in round ``r`` is delivered before any process observes round ``r``'s
 receive phase, faults are injected from the same
@@ -25,6 +25,13 @@ message/bit/drop totals against :class:`~repro.sim.engine.Engine` for
 the same schedule.  :mod:`repro.trace` recorders/checkers attach to the
 coordinator for record/replay across substrates.
 
+Every layer is *session-multiplexed*: frames carry an instance tag
+(:mod:`repro.net.codec`), the hubs route by ``(instance, address)``
+and one TCP connection (:class:`~repro.net.transport.TCPMux`) can host
+any number of per-instance endpoints, so many protocol instances share
+one transport -- the substrate of the :mod:`repro.serve` run-server.
+Single runs use instance ``0`` throughout and are unaffected.
+
 Entry points: :func:`~repro.net.runtime.run_protocol_net` executes a
 process list end-to-end in one OS process over either transport;
 :func:`~repro.net.runtime.serve_tcp` / :func:`~repro.net.runtime.host_nodes_tcp`
@@ -37,13 +44,21 @@ from repro.net.codec import MAX_FRAME_BYTES, FrameTooLargeError
 from repro.net.faults import NetFaultInjector, RuntimeView
 from repro.net.runtime import (
     NetRuntimeError,
+    Session,
     Synchronizer,
     host_nodes_tcp,
     run_node,
     run_protocol_net,
     serve_tcp,
 )
-from repro.net.transport import MemoryHub, TCPHub, connect_tcp
+from repro.net.transport import (
+    MemoryHub,
+    SlowConsumerError,
+    TCPHub,
+    TCPMux,
+    connect_tcp,
+    open_mux,
+)
 
 __all__ = [
     "FrameTooLargeError",
@@ -52,10 +67,14 @@ __all__ = [
     "NetFaultInjector",
     "NetRuntimeError",
     "RuntimeView",
+    "Session",
+    "SlowConsumerError",
     "Synchronizer",
     "TCPHub",
+    "TCPMux",
     "connect_tcp",
     "host_nodes_tcp",
+    "open_mux",
     "run_node",
     "run_protocol_net",
     "serve_tcp",

@@ -4,7 +4,7 @@ Execution model
 ---------------
 Every node is one asyncio task (:func:`run_node`) hosting an unmodified
 :class:`~repro.sim.process.Process`; a coordinator task
-(:class:`Synchronizer`) implements the synchronous model of Section 2
+(:class:`Session`) implements the synchronous model of Section 2
 as a two-phase barrier per round:
 
 0. ``REJOIN(r)`` -- before opening the round, crashed nodes whose churn
@@ -49,6 +49,16 @@ Deployment shapes
 * :func:`serve_tcp` + :func:`host_nodes_tcp` -- the coordinator and
   disjoint node shards in separate OS processes, meeting at a
   :class:`~repro.net.transport.TCPHub` (see ``examples/net_consensus.py``).
+* :mod:`repro.serve` -- a long-lived run-server advancing *many*
+  :class:`Session` objects concurrently on one event loop, their frames
+  multiplexed over shared hub connections by instance tag.
+
+A :class:`Session` is one protocol instance's coordinator state: it
+owns nothing global (no hub, no loop, no transport), so any number of
+sessions can run as sibling tasks over endpoints of one
+:class:`~repro.net.transport.TCPMux`.  Frame *batching* in the
+transport layer then coalesces the round traffic of all concurrently
+advancing sessions into shared wire writes.
 """
 
 from __future__ import annotations
@@ -75,6 +85,7 @@ from repro.trace import payload_digest
 
 __all__ = [
     "NetRuntimeError",
+    "Session",
     "Synchronizer",
     "host_nodes_tcp",
     "run_node",
@@ -354,8 +365,8 @@ async def _collect_inbox(
 # -- coordinator side --------------------------------------------------------
 
 
-class Synchronizer:
-    """The round-barrier coordinator.
+class Session:
+    """One protocol instance's round-barrier coordinator.
 
     Drives the crash phase (via :class:`~repro.net.faults.NetFaultInjector`),
     the send/deliver barrier, fast-forward over quiescent rounds, the
@@ -364,6 +375,14 @@ class Synchronizer:
     reference loop, so a seeded schedule yields identical rounds,
     message/bit totals, per-node and per-round tallies, crash sets and
     decisions on both substrates.
+
+    A session carries no global state: it talks to its nodes through
+    whatever endpoint :meth:`run` is handed, so one event loop can
+    advance many sessions concurrently over per-instance endpoints of a
+    shared transport (the run-server in :mod:`repro.serve` does exactly
+    this, with ``instance`` tagging each session's frames on the wire).
+    ``instance`` is a label only -- it never enters the barrier logic,
+    which is what keeps multiplexed runs bit-identical to single runs.
     """
 
     def __init__(
@@ -377,8 +396,17 @@ class Synchronizer:
         timeout: Optional[float] = 120.0,
         recorder: Optional[Any] = None,
         telemetry: Any = None,
+        instance: int = 0,
     ):
         self.n = n
+        #: protocol-instance tag; purely diagnostic in the session (the
+        #: transport layer does the actual routing by it)
+        self.instance = instance
+        #: optional per-round progress hook ``on_round(session, rnd)``,
+        #: invoked after each round's deliver barrier closes.  ``None``
+        #: (the default) costs one truth test per round; the run-server
+        #: uses it to stream round/metrics updates to watchers.
+        self.on_round: Optional[Any] = None
         self.byzantine = frozenset(byzantine)
         self.injector = NetFaultInjector(
             adversary if adversary is not None else NoFailures(), self.byzantine
@@ -466,10 +494,11 @@ class Synchronizer:
             try:
                 src, frame = await asyncio.wait_for(endpoint.recv(), self.timeout)
             except asyncio.TimeoutError:
+                where = f"session {self.instance}: " if self.instance else ""
                 raise NetRuntimeError(
-                    f"coordinator timed out after {self.timeout}s waiting for "
-                    f"node reports ({context or 'unknown phase'}; a node task "
-                    "or worker process died?)"
+                    f"{where}coordinator timed out after {self.timeout}s "
+                    f"waiting for node reports ({context or 'unknown phase'}; "
+                    "a node task or worker process died?)"
                     + self._laggard_detail(pending)
                 ) from None
         if frame[0] == _ERROR:
@@ -693,6 +722,9 @@ class Synchronizer:
             if delivered_any:
                 last_active_round = rnd
 
+            if self.on_round is not None:
+                self.on_round(self, rnd)
+
             # Termination: all operational non-Byzantine nodes halted and
             # no crashed node still has a scheduled rejoin ahead -- the
             # engine's rule exactly (see Engine._rejoin_pending): a
@@ -745,6 +777,11 @@ class Synchronizer:
             await endpoint.send(pid, (_STOP,))
 
 
+#: Backwards-compatible name from before sessions were per-instance
+#: objects: the coordinator used to be the one-and-only "Synchronizer".
+Synchronizer = Session
+
+
 # -- runners -----------------------------------------------------------------
 
 
@@ -760,6 +797,7 @@ async def _run_async(
     timeout: Optional[float],
     recorder: Optional[Any] = None,
     telemetry: Any = None,
+    batching: bool = True,
 ) -> RunResult:
     n = len(processes)
     tel = coerce_recorder(telemetry)
@@ -776,14 +814,15 @@ async def _run_async(
         hub = MemoryHub()
         endpoints: list[Endpoint] = [hub.endpoint(addr) for addr in range(n + 1)]
     elif transport == "tcp":
-        hub = TCPHub(host, port)
+        hub = TCPHub(host, port, batching=batching)
         await hub.start()
         endpoints = [
-            await connect_tcp(host, hub.port, addr) for addr in range(n + 1)
+            await connect_tcp(host, hub.port, addr, batching=batching)
+            for addr in range(n + 1)
         ]
     else:
         raise ValueError(f"unknown transport {transport!r}")
-    sync = Synchronizer(
+    sync = Session(
         n,
         adversary,
         byzantine=byzantine,
@@ -838,6 +877,7 @@ def run_protocol_net(
     timeout: Optional[float] = 120.0,
     recorder: Optional[Any] = None,
     telemetry: Any = None,
+    batching: bool = True,
 ) -> RunResult:
     """Execute ``processes`` on the net runtime in this OS process.
 
@@ -851,7 +891,10 @@ def run_protocol_net(
     ``recorder`` attaches a :mod:`repro.trace` recorder/checker;
     ``telemetry`` (see :mod:`repro.obs`) adds coordinator round/phase
     spans, per-node ``node.send``/``node.deliver`` tracks and aggregated
-    codec timings, sealed onto ``result.telemetry``.
+    codec timings, sealed onto ``result.telemetry``.  ``batching``
+    (TCP only) toggles wire-write coalescing in the transport --
+    delivery semantics and results are identical either way; the off
+    position exists to measure the speedup (``BENCH_net.json``).
     """
     check_pid_order(processes)
     return asyncio.run(
@@ -867,6 +910,7 @@ def run_protocol_net(
             timeout,
             recorder,
             telemetry,
+            batching,
         )
     )
 
@@ -904,7 +948,7 @@ async def serve_tcp(
         set_codec_probe(tel)
     endpoint = await connect_tcp(hub.host, hub.port, n)
     try:
-        sync = Synchronizer(
+        sync = Session(
             n,
             adversary,
             byzantine=byzantine,

@@ -1,0 +1,603 @@
+"""The long-lived run-server: many protocol instances, one transport.
+
+:class:`RunServer` owns one hub and advances any number of
+:class:`~repro.net.runtime.Session` coordinators concurrently on its
+event loop.  Each submitted recipe becomes one session: a fresh
+instance id, a coordinator endpoint and ``n`` node endpoints -- all
+virtual endpoints multiplexed over shared hub connections
+(:class:`~repro.net.transport.TCPMux`), so a thousand concurrent
+instances cost a handful of sockets, and the transport's frame
+batching coalesces their simultaneous round traffic into shared wire
+writes.
+
+Node placement: with ``workers=0`` every session's node tasks run in
+the server process (still through the hub -- real frames, real
+routing); with ``workers=k`` whole sessions are sharded round-robin
+across ``k`` spawned worker processes via the control channel in
+:mod:`repro.serve.worker`.  Either way the per-session result is
+``check_parity``-identical to ``run_recipe(protocol, backend="sim")``
+with the same execution arguments: sessions replicate the entry
+points' fault-schedule and round-bound defaults through
+:func:`repro.api.prepare_recipe`, and the barrier itself is the
+parity-certified net runtime.
+
+Clients: :meth:`RunServer.listen` opens the submit/stream TCP API
+(:mod:`repro.serve.client` speaks it).  Each client connection's
+outbound stream is a *bounded* queue drained by a writer task; a
+client that stops reading (a stalled watcher) never blocks a session
+-- round updates are fire-and-forget -- and at the bound the
+connection is dropped with an error naming the laggard and the run it
+was watching (``last_client_error``).
+
+The synchronous convenience :func:`run_many` boots a private server,
+submits a batch, and returns the results in order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import pickle
+import sys
+from dataclasses import replace
+from typing import Any, Optional, Sequence
+
+from repro.api import PreparedRun, prepare_recipe
+from repro.net.runtime import NetRuntimeError, Session, run_node
+from repro.net.transport import MemoryHub, TCPHub, open_mux
+from repro.serve import worker as worker_mod
+from repro.serve.wire import read_msg, send_msg
+from repro.sim.engine import RunResult
+
+__all__ = ["RunServer", "run_many"]
+
+#: Execution parameters a submission may carry -- the subset of the
+#: ``run_*`` surface that is meaningful for a remote run (no traces,
+#: no telemetry recorders, no backend choice: the server *is* the
+#: backend).
+EXECUTION_KEYS = frozenset(
+    {"crashes", "seed", "scenario", "max_rounds", "fast_forward"}
+)
+
+
+class _Run:
+    """Book-keeping for one submitted recipe."""
+
+    __slots__ = (
+        "run_id",
+        "instance",
+        "protocol",
+        "execution",
+        "prepared",
+        "done",
+        "result",
+        "error",
+        "watchers",
+        "rounds_seen",
+    )
+
+    def __init__(
+        self,
+        run_id: str,
+        instance: int,
+        protocol: dict,
+        execution: dict,
+        prepared: PreparedRun,
+    ):
+        self.run_id = run_id
+        self.instance = instance
+        self.protocol = protocol
+        self.execution = execution
+        self.prepared = prepared
+        self.done = asyncio.Event()
+        self.result: Optional[RunResult] = None
+        self.error: Optional[BaseException] = None
+        #: deliver callables ``(message) -> None``; fire-and-forget, so
+        #: a slow subscriber can never stall the session
+        self.watchers: list[Any] = []
+        self.rounds_seen = 0
+
+
+class RunServer:
+    """A long-lived multi-instance protocol runner.
+
+    Parameters
+    ----------
+    transport:
+        ``"tcp"`` (default) routes every session through a real
+        :class:`~repro.net.transport.TCPHub` on ``host``/``port``;
+        ``"memory"`` uses the in-process hub (no sockets, no workers --
+        the doctest- and unit-test-friendly shape).
+    workers:
+        Number of node-hosting worker OS processes (TCP only).  ``0``
+        hosts all node tasks in the server process.
+    batching:
+        Toggle transport frame batching (on by default; the off
+        position exists for benchmarks).
+    session_timeout:
+        Per-barrier-wait timeout for each session (``None`` disables).
+        Under heavy multiplexing a healthy session's barrier can wait
+        a while for loop time; raise this before suspecting a hang.
+    stream_queue:
+        Bound of each client connection's outbound message queue (the
+        slow-consumer guard).
+    """
+
+    def __init__(
+        self,
+        *,
+        transport: str = "tcp",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        batching: bool = True,
+        session_timeout: Optional[float] = 120.0,
+        stream_queue: int = 256,
+        max_queue_frames: int = 1_000_000,
+    ):
+        if transport not in ("tcp", "memory"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if workers and transport != "tcp":
+            raise ValueError("worker processes require the tcp transport")
+        self.transport = transport
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.batching = batching
+        self.session_timeout = session_timeout
+        self.stream_queue = stream_queue
+        self.max_queue_frames = max_queue_frames
+        self.hub: Any = None
+        #: last dropped-client diagnostic (stalled stream, protocol
+        #: error); names the peer and, for stalls, the run involved
+        self.last_client_error: Optional[str] = None
+        self._mux: Any = None
+        self._ctrl: Any = None
+        self._worker_procs: list[Any] = []
+        self._ctrl_task: Optional[asyncio.Task] = None
+        self._listener: Optional[asyncio.base_events.Server] = None
+        self._client_tasks: set[asyncio.Task] = set()
+        self._runs: dict[str, _Run] = {}
+        self._tasks: dict[str, asyncio.Task] = {}
+        self._next_instance = 1  # instance 0 is the worker-control channel
+        self._active = 0
+        self._peak_concurrent = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "RunServer":
+        """Start the hub (and workers, if any); returns ``self``."""
+        if self.transport == "memory":
+            self.hub = MemoryHub()
+            return self
+        self.hub = TCPHub(
+            self.host,
+            self.port,
+            batching=self.batching,
+            max_queue_frames=self.max_queue_frames,
+        )
+        await self.hub.start()
+        self.port = self.hub.port
+        self._mux = await open_mux(
+            self.host, self.port, batching=self.batching
+        )
+        if self.workers:
+            self._ctrl = self._mux.endpoint(
+                worker_mod.SERVER_ADDR, worker_mod.CONTROL_INSTANCE
+            )
+            ctx = multiprocessing.get_context("spawn")
+            for index in range(self.workers):
+                proc = ctx.Process(
+                    target=worker_mod.worker_main,
+                    args=(self.host, self.port, index, self.batching),
+                    daemon=True,
+                )
+                proc.start()
+                self._worker_procs.append(proc)
+            pending = set(range(self.workers))
+            while pending:
+                _src, msg = await asyncio.wait_for(self._ctrl.recv(), 30.0)
+                if msg[0] == "ready":
+                    pending.discard(msg[1])
+        return self
+
+    async def listen(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Open the client submit/stream API; returns the bound port."""
+        self._listener = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        return self._listener.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, cancel in-flight sessions, stop workers/hub."""
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        for task in list(self._client_tasks):
+            task.cancel()
+        await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        for task in list(self._tasks.values()):
+            task.cancel()
+        await asyncio.gather(*self._tasks.values(), return_exceptions=True)
+        if self._ctrl is not None:
+            for index in range(self.workers):
+                try:
+                    await self._ctrl.send(
+                        worker_mod.worker_addr(index), ("shutdown",)
+                    )
+                except ConnectionError:
+                    pass
+            if self._mux is not None:
+                await self._mux.flush()
+        if self._mux is not None:
+            await self._mux.close()
+        for proc in self._worker_procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+        if self.transport == "tcp" and self.hub is not None:
+            await self.hub.close()
+
+    # -- submission and execution -----------------------------------------
+
+    async def submit(
+        self, protocol: dict, execution: Optional[dict] = None
+    ) -> str:
+        """Accept one recipe; returns its ``run_id`` immediately.
+
+        ``protocol`` is a :func:`repro.api.run_recipe` recipe dict;
+        ``execution`` the optional fault/bound parameters
+        (:data:`EXECUTION_KEYS`).  Validation (unknown keys, recipe
+        constraint violations) raises here, before a session exists.
+        """
+        execution = dict(execution or {})
+        unknown = set(execution) - EXECUTION_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown execution keys {sorted(unknown)}; the server "
+                f"accepts {sorted(EXECUTION_KEYS)}"
+            )
+        prepared = prepare_recipe(protocol, **execution)
+        instance = self._next_instance
+        self._next_instance += 1
+        run_id = f"run-{instance:06d}"
+        run = _Run(run_id, instance, dict(protocol), execution, prepared)
+        self._runs[run_id] = run
+        self._submitted += 1
+        self._active += 1
+        self._peak_concurrent = max(self._peak_concurrent, self._active)
+        task = asyncio.create_task(self._drive(run))
+        self._tasks[run_id] = task
+        task.add_done_callback(lambda _t: self._tasks.pop(run_id, None))
+        return run_id
+
+    async def result(self, run_id: str) -> RunResult:
+        """Await a run's completion and return its result (raising the
+        session's failure, if it failed)."""
+        run = self._run(run_id)
+        await run.done.wait()
+        if run.error is not None:
+            raise run.error
+        return run.result
+
+    def watch(self, run_id: str, deliver: Any) -> None:
+        """Subscribe ``deliver(message)`` to a run's progress stream.
+
+        Messages are ``("update", run_id, info)`` per completed round
+        and one final ``("done", run_id, info)``; a run already done
+        delivers ``("done", ...)`` immediately.  ``deliver`` must not
+        block -- it is called from the session's round loop.
+        """
+        run = self._run(run_id)
+        if run.done.is_set():
+            deliver(("done", run_id, self._final_info(run)))
+            return
+        run.watchers.append(deliver)
+
+    def status(self) -> dict:
+        """Server-level gauges (the load generator samples these)."""
+        return {
+            "transport": self.transport,
+            "workers": self.workers,
+            "batching": self.batching,
+            "active": self._active,
+            "peak_concurrent": self._peak_concurrent,
+            "submitted": self._submitted,
+            "completed": self._completed,
+            "failed": self._failed,
+        }
+
+    def _run(self, run_id: str) -> _Run:
+        run = self._runs.get(run_id)
+        if run is None:
+            raise KeyError(f"unknown run_id {run_id!r}")
+        return run
+
+    def _endpoint(self, address: int, instance: int) -> Any:
+        if self.transport == "memory":
+            return self.hub.endpoint(address, instance)
+        return self._mux.endpoint(address, instance)
+
+    async def _drive(self, run: _Run) -> None:
+        prepared = run.prepared
+        instance = run.instance
+        n = prepared.n
+        session = Session(
+            n,
+            prepared.adversary,
+            byzantine=prepared.byzantine,
+            max_rounds=prepared.max_rounds,
+            fast_forward=prepared.fast_forward,
+            timeout=self.session_timeout,
+            instance=instance,
+        )
+        session.on_round = lambda s, rnd: self._on_round(run, s, rnd)
+        churn_pids = prepared.adversary.rejoin_pids()
+        coordinator = self._endpoint(n, instance)
+        node_tasks: list[asyncio.Task] = []
+        try:
+            if self.workers:
+                index = instance % self.workers
+                await self._ctrl.send(
+                    worker_mod.worker_addr(index),
+                    ("host", instance, run.protocol, sorted(churn_pids)),
+                )
+            else:
+                node_tasks = [
+                    asyncio.create_task(
+                        run_node(
+                            proc,
+                            self._endpoint(proc.pid, instance),
+                            n,
+                            churn=proc.pid in churn_pids,
+                        )
+                    )
+                    for proc in prepared.processes
+                ]
+            result = await session.run(coordinator)
+            if not self.workers:
+                await asyncio.gather(*node_tasks)
+                result.processes = list(prepared.processes)
+            run.result = result
+            self._completed += 1
+        except asyncio.CancelledError:
+            run.error = NetRuntimeError(f"{run.run_id} cancelled at shutdown")
+            raise
+        except Exception as exc:
+            run.error = exc
+            self._failed += 1
+        finally:
+            self._active -= 1
+            for task in node_tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*node_tasks, return_exceptions=True)
+            try:
+                await coordinator.close()
+            except ConnectionError:
+                pass
+            # The hub's per-(instance, pid) routing state is garbage
+            # once the session ends; a long-lived server must not
+            # accumulate it across thousands of runs.
+            self.hub.purge_instance(instance)
+            run.done.set()
+            self._publish(run, ("done", run.run_id, self._final_info(run)))
+            run.watchers.clear()
+
+    def _on_round(self, run: _Run, session: Session, rnd: int) -> None:
+        run.rounds_seen += 1
+        if run.watchers:
+            info = {
+                "round": rnd,
+                "messages": session.metrics.messages,
+                "bits": session.metrics.bits,
+                "crashed": len(session.crashed),
+            }
+            self._publish(run, ("update", run.run_id, info))
+
+    def _final_info(self, run: _Run) -> dict:
+        if run.error is not None:
+            return {"ok": False, "error": str(run.error)}
+        metrics = run.result.metrics
+        return {
+            "ok": True,
+            "completed": run.result.completed,
+            "rounds": metrics.rounds,
+            "messages": metrics.messages,
+            "bits": metrics.bits,
+        }
+
+    def _publish(self, run: _Run, message: tuple) -> None:
+        for deliver in list(run.watchers):
+            deliver(message)
+
+    # -- client API --------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._client_tasks.add(task)
+        task.add_done_callback(self._client_tasks.discard)
+        peer = f"client {writer.get_extra_info('peername')}"
+        conn = _ClientConn(self, writer, peer, self.stream_queue)
+        try:
+            while True:
+                msg = await read_msg(reader, peer=peer)
+                kind = msg[0]
+                if kind == "submit":
+                    _, token, protocol, execution = msg
+                    try:
+                        run_id = await self.submit(protocol, execution)
+                        conn.push(("accepted", token, run_id))
+                    except Exception as exc:
+                        conn.push(("error", token, f"{type(exc).__name__}: {exc}"))
+                elif kind == "watch":
+                    _, run_id = msg
+                    try:
+                        self.watch(
+                            run_id,
+                            lambda m, _c=conn, _r=run_id: _c.push(m, run=_r),
+                        )
+                    except KeyError as exc:
+                        conn.push(("error", run_id, str(exc)))
+                elif kind == "result":
+                    _, run_id = msg
+                    # Awaiting here would head-of-line-block this
+                    # client's later requests behind a long run.
+                    asyncio.create_task(self._send_result(conn, run_id))
+                elif kind == "status":
+                    conn.push(("status", self.status()))
+                else:
+                    conn.push(("error", None, f"unknown request {kind!r}"))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown cancels client handlers en masse
+        except Exception as exc:
+            self.last_client_error = f"{peer}: {exc}"
+        finally:
+            await conn.aclose()
+
+    async def _send_result(self, conn: "_ClientConn", run_id: str) -> None:
+        try:
+            result = await self.result(run_id)
+            # Live process objects (and attached trace/telemetry) stay
+            # server-side: they can hold unpicklable state and are
+            # meaningless across the wire.  Metrics, decisions, crash
+            # sets and completion -- everything check_parity compares --
+            # travel intact.
+            conn.push(("result", run_id, replace(result, processes=(), trace=None, telemetry=None)))
+        except KeyError as exc:
+            conn.push(("error", run_id, str(exc)))
+        except Exception as exc:
+            conn.push(("error", run_id, f"{type(exc).__name__}: {exc}"))
+
+
+class _ClientConn:
+    """One client connection's bounded outbound stream.
+
+    ``push`` enqueues without blocking (it is called from session round
+    loops); the writer task drains to the socket.  Queue overflow means
+    the client stopped reading: the connection is killed with a
+    diagnostic naming the laggard and the run whose message overflowed,
+    and -- crucially -- no session ever waits on it.
+    """
+
+    def __init__(
+        self, server: RunServer, writer: asyncio.StreamWriter, peer: str, bound: int
+    ):
+        self.server = server
+        self.writer = writer
+        self.peer = peer
+        self.bound = bound
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=bound)
+        self.dead = False
+        self._task = asyncio.create_task(self._drain())
+
+    def push(self, message: tuple, run: Optional[str] = None) -> None:
+        if self.dead:
+            return
+        try:
+            self.queue.put_nowait(message)
+        except asyncio.QueueFull:
+            detail = f" while streaming {run}" if run else ""
+            self._kill(
+                f"{self.peer} stalled{detail}: {self.bound} undelivered "
+                "messages (slow consumer) -- dropping the connection so "
+                "sessions keep advancing"
+            )
+
+    def _kill(self, reason: str) -> None:
+        if self.dead:
+            return
+        self.dead = True
+        self.server.last_client_error = reason
+        print(f"RunServer: {reason}", file=sys.stderr)
+        self._task.cancel()
+        self.writer.close()
+
+    async def _drain(self) -> None:
+        try:
+            while True:
+                message = await self.queue.get()
+                try:
+                    send_msg(self.writer, message)
+                except (TypeError, AttributeError, pickle.PicklingError) as exc:
+                    # An unserializable payload must not kill the drain
+                    # loop silently -- tell the client which response
+                    # was dropped and keep the connection alive.
+                    ref = message[1] if len(message) > 1 else None
+                    send_msg(
+                        self.writer,
+                        (
+                            "error",
+                            ref,
+                            f"unserializable response "
+                            f"{message[0]!r}: {type(exc).__name__}: {exc}",
+                        ),
+                    )
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def aclose(self) -> None:
+        self.dead = True
+        self._task.cancel()
+        try:
+            await self._task
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        self.writer.close()
+
+
+def run_many(
+    recipes: Sequence[dict | tuple[dict, dict]],
+    *,
+    transport: str = "memory",
+    workers: int = 0,
+    batching: bool = True,
+    session_timeout: Optional[float] = 120.0,
+) -> list[RunResult]:
+    """Run a batch of recipes concurrently through a private server.
+
+    Each item is a recipe dict or a ``(recipe, execution)`` pair.  All
+    sessions are submitted up front and advance concurrently over one
+    shared hub; results come back in submission order.  The convenience
+    wrapper for tests, docs and scripts -- long-lived deployments use
+    :class:`RunServer` directly.
+
+    >>> from repro.serve import run_many
+    >>> results = run_many([
+    ...     {"name": "flooding", "inputs": [0, 1, 1, 0], "t": 1},
+    ...     ({"name": "gossip", "rumors": list(range(12)), "t": 2},
+    ...      {"crashes": None}),
+    ... ])
+    >>> [r.completed for r in results]
+    [True, True]
+    """
+
+    async def _main() -> list[RunResult]:
+        server = RunServer(
+            transport=transport,
+            workers=workers,
+            batching=batching,
+            session_timeout=session_timeout,
+        )
+        await server.start()
+        try:
+            run_ids = []
+            for item in recipes:
+                if isinstance(item, tuple):
+                    protocol, execution = item
+                else:
+                    protocol, execution = item, None
+                run_ids.append(await server.submit(protocol, execution))
+            return [await server.result(run_id) for run_id in run_ids]
+        finally:
+            await server.close()
+
+    return asyncio.run(_main())

@@ -29,7 +29,25 @@ ROW_FIELDS = {
     "completed": bool,
 }
 
-KNOWN_BACKENDS = {"sim-ref", "sim-opt", "vec"}
+KNOWN_BACKENDS = {"sim-ref", "sim-opt", "vec", "sim", "net", "tcp"}
+
+#: Per-arm service rows written by ``repro-bench serve``
+#: (:mod:`repro.serve.loadgen`).
+SERVE_ROW_FIELDS = {
+    "arm": str,
+    "instances": int,
+    "workers": int,
+    "instances_per_sec": float,
+    "p50_latency_ms": float,
+    "p99_latency_ms": float,
+    "peak_concurrent": int,
+    "completed": int,
+    "failed": int,
+    "parity_checked": int,
+    "elapsed_sec": float,
+}
+
+SERVE_ARMS = {"steady", "churn", "burst-1000"}
 
 #: Per-t worst-case rows written by ``benchmarks/bench_adversary.py``.
 ADVERSARY_ROW_FIELDS = {
@@ -56,12 +74,16 @@ def artifacts():
     return sorted(REPO_ROOT.glob("BENCH_*.json"))
 
 
+#: Schemas whose rows are not per-backend protocol throughput.
+NON_PERF_SCHEMAS = {"repro-bench-adversary/1", "repro-bench-serve/1"}
+
+
 def perf_artifacts():
-    """Artifacts carrying per-backend throughput rows (not adversary)."""
+    """Artifacts carrying per-backend throughput rows."""
     return [
         path
         for path in artifacts()
-        if json.loads(path.read_text())["schema"] != "repro-bench-adversary/1"
+        if json.loads(path.read_text())["schema"] not in NON_PERF_SCHEMAS
     ]
 
 
@@ -70,6 +92,8 @@ def test_trajectory_artifacts_exist():
     assert "BENCH_vec.json" in names
     assert "BENCH_engine.json" in names
     assert "BENCH_adversary.json" in names
+    assert "BENCH_net.json" in names
+    assert "BENCH_serve.json" in names
 
 
 @pytest.mark.parametrize(
@@ -223,3 +247,72 @@ def test_adversary_finds_fault_sensitivity():
         )
         assert all(row["faults"] >= 1 or row["gain"] == 0
                    for row in by_family[family])
+
+
+def test_net_artifact_batching_speedup():
+    """``BENCH_net.json`` records the single-run TCP win from frame
+    batching + payload interning: the batching-on arm must beat the
+    frame-at-a-time arm at the largest measured n (measured ~1.8x; the
+    floor is generous for hardware variance), and the batching field
+    must be recorded only where it is meaningful (the TCP wire)."""
+    data = json.loads((REPO_ROOT / "BENCH_net.json").read_text())
+    assert data["schema"] == "repro-bench-net/1"
+    for row in data["rows"]:
+        assert "batching" in row
+        if row["backend"] == "tcp":
+            assert isinstance(row["batching"], bool)
+        else:
+            assert row["batching"] is None
+    big = max(row["n"] for row in data["rows"])
+    at_big = {
+        (row["backend"], row["batching"]): row
+        for row in data["rows"]
+        if row["n"] == big
+    }
+    on = at_big[("tcp", True)]
+    off = at_big[("tcp", False)]
+    assert on["msgs_per_sec"] >= 1.2 * off["msgs_per_sec"], (
+        f"batching speedup regressed: {on['msgs_per_sec']} vs "
+        f"{off['msgs_per_sec']} msgs/sec at n={big}"
+    )
+
+
+def _serve_data():
+    return json.loads((REPO_ROOT / "BENCH_serve.json").read_text())
+
+
+def test_serve_artifact_schema():
+    """``BENCH_serve.json`` carries one row per load shape, each with
+    throughput, completion-latency tails and a parity-checked sample."""
+    data = _serve_data()
+    assert data["schema"] == "repro-bench-serve/1"
+    arms = set()
+    for row in data["rows"]:
+        for field, kind in SERVE_ROW_FIELDS.items():
+            assert field in row, f"serve row missing {field!r}"
+            assert isinstance(row[field], kind), (
+                f"{field}={row[field]!r} is not {kind.__name__}"
+            )
+        assert row["arm"] in SERVE_ARMS
+        assert row["instances_per_sec"] > 0
+        assert 0 < row["p50_latency_ms"] <= row["p99_latency_ms"]
+        assert row["failed"] == 0
+        assert row["completed"] == row["instances"]
+        assert row["parity_checked"] >= 1, (
+            "every arm must differentially check a sample vs the simulator"
+        )
+        arms.add(row["arm"])
+    assert arms == SERVE_ARMS
+
+
+def test_serve_artifact_meets_concurrency_floor():
+    """The acceptance floor: one server process sustained >= 1000
+    concurrent protocol instances over a single TCP hub (the burst arm
+    submits them all at once, so peak concurrency is the batch size),
+    and the churn arm recorded its latency tails."""
+    data = _serve_data()
+    by_arm = {row["arm"]: row for row in data["rows"]}
+    burst = by_arm["burst-1000"]
+    assert burst["instances"] >= 1000
+    assert burst["peak_concurrent"] >= 1000
+    assert by_arm["churn"]["p99_latency_ms"] > 0

@@ -3,8 +3,11 @@
 The ``[u32 body_len]`` header can announce up to 4 GiB; one corrupt or
 truncated frame used to make the reader await (and eventually allocate)
 that much.  The guard bounds every announced length *before* the body
-read, on both read loops -- hub ingress and endpoint recv -- failing
-with an error that names the peer and the phase.
+read, on both read loops -- hub ingress and mux recv -- failing with an
+error that names the peer, the phase and the protocol instance.  Batch
+frames are guarded twice: the whole envelope at the header read
+(``MAX_BATCH_BYTES``-class limit) and every inner frame's blob at
+decode time (per-frame limit).
 """
 
 import asyncio
@@ -12,8 +15,14 @@ import asyncio
 import pytest
 
 from repro.net import FrameTooLargeError, MAX_FRAME_BYTES, TCPHub, connect_tcp
-from repro.net.codec import HEADER, HELLO, check_frame_size, encode
-from repro.net.transport import TCPEndpoint
+from repro.net.codec import (
+    BATCH,
+    HEADER,
+    check_frame_size,
+    decode_batch,
+    encode,
+    encode_batch,
+)
 
 
 class TestCheckFrameSize:
@@ -37,36 +46,133 @@ class TestCheckFrameSize:
         assert "hub ingress" in message
         assert "1024" in message
 
+    def test_names_instance_when_given(self):
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            check_frame_size(
+                2**31, limit=1024, peer="p", phase="x", instance=17
+            )
+        assert "instance 17" in str(excinfo.value)
+
     def test_negative_limit_disables_guard(self):
         assert check_frame_size(2**31, limit=-1, peer="p", phase="x") == 2**31
 
 
-class TestEndpointRecvGuard:
-    def _recv_with_header(self, length, max_frame_bytes):
-        async def scenario():
-            reader = asyncio.StreamReader()
-            reader.feed_data(HEADER.pack(length, 5) + b"x" * min(length, 8))
-            endpoint = TCPEndpoint(
-                reader, writer=None, address=3, max_frame_bytes=max_frame_bytes
-            )
-            return await endpoint.recv()
+class TestBatchGuard:
+    """Satellite: the guard applies per inner frame *and* per batch."""
 
-        return asyncio.run(scenario())
-
-    def test_oversize_frame_raises_before_body_read(self):
+    def test_inner_frame_over_limit_names_instance_peer_phase(self):
+        big = b"x" * 2048
+        body = encode_batch([(0, 1, 42, b"ok"), (2, 3, 42, big)])
         with pytest.raises(FrameTooLargeError) as excinfo:
-            self._recv_with_header(2**31, max_frame_bytes=64)
+            decode_batch(body, limit=1024, peer="worker 3", phase="hub ingress")
         message = str(excinfo.value)
-        assert "endpoint 3 recv" in message
-        assert "address 5" in message
+        assert "instance 42" in message
+        assert "worker 3" in message
+        assert "hub ingress" in message
+
+    def test_inner_frames_under_limit_pass(self):
+        frames = [(0, 1, 7, b"aa"), (1, 0, 7, b"bb"), (2, 1, 8, b"aa")]
+        body = encode_batch(frames)
+        assert decode_batch(body, limit=1024, peer="p", phase="x") == frames
+
+    def test_payload_interning_shares_blobs(self):
+        shared = encode(("start", 5))
+        frames = [(3, pid, 1, shared) for pid in range(100)]
+        body = encode_batch(frames)
+        # 100 frames, one blob: far smaller than 100 copies.
+        assert len(body) < len(shared) + 100 * 16 + 64
+        assert decode_batch(body, peer="p", phase="x") == frames
+
+    def test_value_equal_payloads_intern(self):
+        a, b = b"same-bytes", bytes(bytearray(b"same-bytes"))
+        assert a is not b
+        body = encode_batch([(0, 1, 0, a), (1, 0, 0, b)])
+        one = encode_batch([(0, 1, 0, a), (1, 0, 0, a)])
+        assert len(body) == len(one)
+
+    def test_corrupt_batch_raises_value_error(self):
+        body = encode_batch([(0, 1, 0, b"payload")])
+        with pytest.raises(ValueError):
+            decode_batch(body[: len(body) - 3], peer="p", phase="x")
+
+    def test_out_of_range_blob_index_raises(self):
+        # One blob, one entry referencing blob 5.
+        import struct
+
+        body = (
+            struct.pack(">I", 1)
+            + struct.pack(">I", 2)
+            + b"ok"
+            + struct.pack(">I", 1)
+            + struct.pack(">iiII", 0, 1, 0, 5)
+        )
+        with pytest.raises(ValueError) as excinfo:
+            decode_batch(body, peer="p", phase="x")
+        assert "blob index" in str(excinfo.value)
+
+    def test_whole_batch_limit_enforced_at_hub(self):
+        """A batch envelope over max_batch_bytes is rejected at the
+        header read, before the body is awaited."""
+
+        async def scenario():
+            hub = TCPHub("127.0.0.1", 0, max_batch_bytes=1024)
+            await hub.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", hub.port
+                )
+                writer.write(HEADER.pack(2**31, -1, BATCH, 0))
+                await writer.drain()
+                eof = await asyncio.wait_for(reader.read(1), timeout=5.0)
+                assert eof == b""
+                writer.close()
+                assert "batch" in hub.last_frame_error
+            finally:
+                await hub.close()
+
+        asyncio.run(scenario())
+
+
+class TestEndpointRecvGuard:
+    def test_oversize_frame_raises_before_body_read(self):
+        """A corrupt header arriving at a connected endpoint surfaces as
+        FrameTooLargeError from recv(), naming instance and phase."""
+
+        async def scenario():
+            hub = TCPHub("127.0.0.1", 0)
+            await hub.start()
+            try:
+                victim = await connect_tcp(
+                    "127.0.0.1", hub.port, 3, max_frame_bytes=64
+                )
+                # Reach under the endpoint to its raw socket and feed a
+                # corrupt header directly into its reader.
+                victim._mux._reader.feed_data(HEADER.pack(2**31, 5, 3, 9))
+                with pytest.raises(FrameTooLargeError) as excinfo:
+                    await asyncio.wait_for(victim.recv(), timeout=5.0)
+                message = str(excinfo.value)
+                assert "instance 9" in message
+                assert "mux recv" in message
+                await victim.close()
+            finally:
+                await hub.close()
+
+        asyncio.run(scenario())
 
     def test_normal_frame_passes(self):
         async def scenario():
-            reader = asyncio.StreamReader()
-            body = encode(("ping", 1))
-            reader.feed_data(HEADER.pack(len(body), 2) + body)
-            endpoint = TCPEndpoint(reader, writer=None, address=0)
-            return await endpoint.recv()
+            hub = TCPHub("127.0.0.1", 0)
+            await hub.start()
+            try:
+                a = await connect_tcp("127.0.0.1", hub.port, 2)
+                b = await connect_tcp("127.0.0.1", hub.port, 0)
+                await a.send(0, ("ping", 1))
+                src, obj = await asyncio.wait_for(b.recv(), timeout=5.0)
+                await a.close()
+                await b.close()
+                return src, obj
+            finally:
+                await hub.close()
 
         src, obj = asyncio.run(scenario())
         assert (src, obj) == (2, ("ping", 1))
@@ -83,18 +189,18 @@ class TestHubIngressGuard:
             try:
                 good_a = await connect_tcp("127.0.0.1", hub.port, 0)
                 good_b = await connect_tcp("127.0.0.1", hub.port, 1)
-                # A raw attacker/corrupt endpoint at address 9.
+                # A raw attacker/corrupt endpoint.
                 reader, writer = await asyncio.open_connection(
                     "127.0.0.1", hub.port
                 )
-                writer.write(HELLO.pack(9))
-                writer.write(HEADER.pack(2**31, 0))  # 2 GiB announcement
+                writer.write(HEADER.pack(2**31, 9, 0, 4))  # 2 GiB announced
                 await writer.drain()
                 # The hub must close the poisoned connection (EOF), not
                 # wait for 2 GiB.
                 eof = await asyncio.wait_for(reader.read(1), timeout=5.0)
                 assert eof == b""
                 writer.close()
+                assert "instance 4" in hub.last_frame_error
                 # Healthy traffic still flows through the same hub.
                 await good_a.send(1, ("hello", 42))
                 src, obj = await asyncio.wait_for(good_b.recv(), timeout=5.0)

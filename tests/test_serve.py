@@ -1,0 +1,399 @@
+"""The run-server: session multiplexing, parity, and backpressure.
+
+Three walls around :mod:`repro.serve` and the session-multiplexed
+transport underneath it:
+
+* **Concurrent-session parity** (hypothesis property): any mix of
+  recipes -- families, seeds, crash modes, churn scenarios -- executed
+  *concurrently* over one shared hub must be ``check_parity``-identical,
+  run for run, to serial ``backend="sim"`` executions of the same
+  recipes.  Multiplexing N sessions onto one event loop and one wire
+  must be observably invisible.
+* **Service surface**: submit/watch/result/status over the TCP client
+  API, worker-process sharding, and the wire contract that client-facing
+  results strip live process objects (which may be unpicklable) while
+  keeping everything parity compares.
+* **Backpressure**: a consumer that stops reading -- a hub connection or
+  a serve client stream -- must be dropped at its queue bound with an
+  actionable error naming the laggard, while every other session keeps
+  advancing.
+"""
+
+import asyncio
+import pickle
+import socket
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_recipe
+from repro.check import check_parity
+from repro.net.codec import CONTROL, HEADER, encode
+from repro.net.transport import TCPHub, open_mux
+from repro.scenarios import Scenario
+from repro.serve import RunServer, ServeClient, run_many
+from repro.serve.server import _ClientConn
+from repro.serve.wire import send_msg
+
+RECIPE_KINDS = ["flood-none", "flood-random", "flood-early", "gossip", "churn"]
+
+
+def make_recipe(kind: str, seed: int):
+    """A deterministic (protocol, execution) pair per kind+seed, in the
+    JSON-safe shape a serve client submits (scenario as dict)."""
+    if kind == "gossip":
+        rumors = [f"r{seed}-{j}" for j in range(6)]
+        return {"name": "gossip", "rumors": rumors, "t": 1}, {
+            "crashes": None,
+            "seed": seed,
+        }
+    if kind == "churn":
+        # Crash + down-then-rejoin legs; the rejoin lands before the
+        # flooding halt round so the run terminates.
+        n = 8
+        scenario = Scenario(n=n, crashes=[(1, 1, None)], churn=[(2, 1, 3, None)])
+        protocol = {
+            "name": "flooding",
+            "inputs": [(seed + j) % 2 for j in range(n)],
+            "t": 3,
+        }
+        return protocol, {"scenario": scenario.to_dict(), "seed": seed}
+    mode = {
+        "flood-none": None,
+        "flood-random": "random",
+        "flood-early": "early",
+    }[kind]
+    n = 6
+    protocol = {
+        "name": "flooding",
+        "inputs": [(seed + j) % 2 for j in range(n)],
+        "t": 2,
+    }
+    return protocol, {"crashes": mode, "seed": seed}
+
+
+def sim_reference(protocol: dict, execution: dict):
+    """The serial simulator run the served result must match."""
+    execution = dict(execution)
+    if isinstance(execution.get("scenario"), dict):
+        execution["scenario"] = Scenario.from_dict(execution["scenario"])
+    return run_recipe(protocol, backend="sim", **execution)
+
+
+recipe_specs = st.lists(
+    st.tuples(st.sampled_from(RECIPE_KINDS), st.integers(0, 50)),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestConcurrentSessionParity:
+    """N concurrent sessions over one hub == N serial simulator runs."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(specs=recipe_specs)
+    def test_memory_hub_matches_serial_sim(self, specs):
+        recipes = [make_recipe(kind, seed) for kind, seed in specs]
+        results = run_many(recipes, transport="memory")
+        for (protocol, execution), served in zip(recipes, results):
+            check_parity(
+                served, sim_reference(protocol, execution), "served", "sim"
+            )
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(specs=recipe_specs)
+    def test_tcp_hub_matches_serial_sim(self, specs):
+        recipes = [make_recipe(kind, seed) for kind, seed in specs]
+        results = run_many(recipes, transport="tcp")
+        for (protocol, execution), served in zip(recipes, results):
+            check_parity(
+                served, sim_reference(protocol, execution), "served", "sim"
+            )
+
+    def test_churn_sessions_interleave_with_healthy_ones(self):
+        # The REJOIN barrier leg of one session must not perturb its
+        # neighbours on the shared hub.
+        recipes = [
+            make_recipe("churn", 1),
+            make_recipe("flood-none", 2),
+            make_recipe("churn", 3),
+            make_recipe("gossip", 4),
+        ]
+        results = run_many(recipes, transport="tcp")
+        for (protocol, execution), served in zip(recipes, results):
+            check_parity(
+                served, sim_reference(protocol, execution), "served", "sim"
+            )
+
+
+class TestServeClientAPI:
+    def test_submit_watch_result_status(self):
+        protocol, execution = make_recipe("flood-early", 3)
+
+        async def scenario():
+            server = RunServer(transport="tcp")
+            await server.start()
+            port = await server.listen("127.0.0.1", 0)
+            client = await ServeClient.connect("127.0.0.1", port)
+            run_id = await client.submit(protocol, execution)
+            queue = client.watch(run_id)
+            events = []
+            while True:
+                kind, info = await asyncio.wait_for(queue.get(), 30)
+                events.append((kind, info))
+                if kind == "done":
+                    break
+            result = await client.result(run_id)
+            status = await client.status()
+            await client.close()
+            await server.close()
+            return run_id, events, result, status
+
+        run_id, events, result, status = asyncio.run(scenario())
+        assert run_id == "run-000001"
+        # Per-round progress, then a terminal done event.
+        assert [kind for kind, _ in events[:-1]] == ["update"] * (
+            len(events) - 1
+        )
+        rounds = [info["round"] for _, info in events[:-1]]
+        assert rounds == sorted(rounds)
+        done = events[-1][1]
+        assert done["ok"] and done["completed"]
+        assert done["rounds"] == result.rounds
+        check_parity(result, sim_reference(protocol, execution), "served", "sim")
+        assert status["submitted"] == 1 and status["completed"] == 1
+        assert status["failed"] == 0 and status["active"] == 0
+
+    def test_worker_sharded_sessions_match_sim(self):
+        recipes = [make_recipe(kind, i) for i, kind in enumerate(RECIPE_KINDS)]
+
+        async def scenario():
+            server = RunServer(transport="tcp", workers=2)
+            await server.start()
+            port = await server.listen("127.0.0.1", 0)
+            client = await ServeClient.connect("127.0.0.1", port)
+            run_ids = [
+                await client.submit(protocol, execution)
+                for protocol, execution in recipes
+            ]
+            results = [
+                await asyncio.wait_for(client.result(rid), 60)
+                for rid in run_ids
+            ]
+            status = await client.status()
+            await client.close()
+            await server.close()
+            return results, status
+
+        results, status = asyncio.run(scenario())
+        assert status["workers"] == 2
+        for (protocol, execution), served in zip(recipes, results):
+            check_parity(
+                served, sim_reference(protocol, execution), "served", "sim"
+            )
+
+    def test_wire_results_strip_live_processes(self):
+        # GossipProcess closes over lambdas, so the full RunResult does
+        # not pickle; the client-facing copy must still arrive -- with
+        # process objects left server-side and every field parity
+        # compares intact.
+        protocol, execution = make_recipe("gossip", 7)
+        with pytest.raises(Exception):
+            pickle.dumps(sim_reference(protocol, execution))
+
+        async def scenario():
+            server = RunServer(transport="tcp")
+            await server.start()
+            port = await server.listen("127.0.0.1", 0)
+            client = await ServeClient.connect("127.0.0.1", port)
+            run_id = await client.submit(protocol, execution)
+            result = await asyncio.wait_for(client.result(run_id), 60)
+            await client.close()
+            await server.close()
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.completed
+        assert len(result.processes) == 0
+        check_parity(result, sim_reference(protocol, execution), "served", "sim")
+
+    def test_bad_recipe_reports_error(self):
+        async def scenario():
+            server = RunServer(transport="tcp")
+            await server.start()
+            port = await server.listen("127.0.0.1", 0)
+            client = await ServeClient.connect("127.0.0.1", port)
+            try:
+                with pytest.raises(RuntimeError, match="run-server error"):
+                    await client.submit({"name": "no-such-family"}, {})
+                with pytest.raises(RuntimeError, match="unknown execution"):
+                    await client.submit(
+                        make_recipe("flood-none", 0)[0], {"bogus_key": 1}
+                    )
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestHubBackpressure:
+    def test_slow_consumer_dropped_other_sessions_advance(self):
+        async def scenario():
+            hub = TCPHub("127.0.0.1", 0, max_queue_frames=16)
+            await hub.start()
+            # Laggard: a raw connection that binds (instance 7, addr 1)
+            # and then never reads its socket.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", hub.port
+            )
+            bind = encode(("bind", 1))
+            writer.write(HEADER.pack(len(bind), 1, CONTROL, 7) + bind)
+            await writer.drain()
+            # Healthy pair on another instance of the same hub.
+            amux = await open_mux("127.0.0.1", hub.port)
+            a = amux.endpoint(0, instance=3)
+            bmux = await open_mux("127.0.0.1", hub.port)
+            b = bmux.endpoint(1, instance=3)
+            # Flood the stalled consumer until its bounded sink queue
+            # overflows: socket buffers absorb the first frames, then
+            # the hub-side queue grows past its bound.
+            smux = await open_mux("127.0.0.1", hub.port)
+            sender = smux.endpoint(0, instance=7)
+            payload = b"x" * 65536
+            for _ in range(40):
+                for _ in range(20):
+                    await sender.send(1, payload)
+                await smux.flush()
+                await asyncio.sleep(0.02)
+                if hub.backpressure_drops:
+                    break
+            assert hub.backpressure_drops >= 1
+            error = hub.last_backpressure_error
+            # The healthy instance still roundtrips after the drop.
+            await a.send(1, "ping")
+            src, body = await asyncio.wait_for(b.recv(), 10)
+            for mux in (amux, bmux, smux):
+                await mux.close()
+            writer.close()
+            await hub.close()
+            return error, (src, body)
+
+        error, roundtrip = asyncio.run(scenario())
+        assert roundtrip == (0, "ping")
+        # The diagnostic names the laggard's binding and the bound.
+        assert "instance 7" in error
+        assert "16-frame bound" in error
+        assert "dropping the laggard" in error
+
+
+class _NeverDrains:
+    """A StreamWriter stand-in whose transport never accepts bytes."""
+
+    def __init__(self):
+        self.closed = False
+
+    def write(self, data):
+        pass
+
+    async def drain(self):
+        await asyncio.Event().wait()  # block forever
+
+    def close(self):
+        self.closed = True
+
+    def get_extra_info(self, key):
+        return ("test", 0)
+
+
+class TestServeBackpressure:
+    def test_client_queue_overflow_names_laggard_run(self):
+        # Unit wall on the bound itself: push past the stream queue and
+        # the connection is killed with an error naming the run whose
+        # stream the client stopped consuming.
+        async def scenario():
+            server = RunServer(transport="memory", stream_queue=4)
+            writer = _NeverDrains()
+            conn = _ClientConn(server, writer, "client test", 4)
+            for _ in range(4):
+                conn.push(("update", "run-000042", {}), run="run-000042")
+            assert server.last_client_error is None
+            conn.push(("update", "run-000042", {}), run="run-000042")
+            assert server.last_client_error is not None
+            assert writer.closed
+            await conn.aclose()
+            return server.last_client_error
+
+        error = asyncio.run(scenario())
+        assert "run-000042" in error
+        assert "undelivered" in error
+
+    def test_stalled_watcher_does_not_stall_other_sessions(self):
+        # Integration wall: a client that stops reading entirely (tiny
+        # receive buffer, no reads) is eventually dropped, and healthy
+        # clients' sessions run to completion throughout.
+        protocol, execution = make_recipe("flood-none", 5)
+
+        async def scenario():
+            server = RunServer(transport="tcp", stream_queue=8)
+            await server.start()
+            port = await server.listen("127.0.0.1", 0)
+
+            # Laggard: raw socket with a tiny receive buffer; submits a
+            # run, then requests its (multi-KB) result in a tight loop
+            # without ever reading a byte of the responses.
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            sock.setblocking(False)
+            loop = asyncio.get_running_loop()
+            await loop.sock_connect(sock, ("127.0.0.1", port))
+            _, lag_writer = await asyncio.open_connection(sock=sock)
+            big_n = 48
+            send_msg(
+                lag_writer,
+                (
+                    "submit",
+                    0,
+                    {
+                        "name": "flooding",
+                        "inputs": [j % 2 for j in range(big_n)],
+                        "t": 3,
+                    },
+                    {"crashes": None},
+                ),
+            )
+            await lag_writer.drain()
+            for _ in range(1500):
+                send_msg(lag_writer, ("result", "run-000001"))
+            await lag_writer.drain()
+
+            # Healthy client: sessions must keep completing while the
+            # laggard's responses pile up server-side.
+            client = await ServeClient.connect("127.0.0.1", port)
+            results = []
+            for i in range(4):
+                rid = await client.submit(protocol, execution)
+                results.append(await asyncio.wait_for(client.result(rid), 30))
+            for _ in range(1500):
+                if server.last_client_error:
+                    break
+                await asyncio.sleep(0.01)
+            error = server.last_client_error
+            await client.close()
+            lag_writer.close()
+            await server.close()
+            return results, error
+
+        results, error = asyncio.run(scenario())
+        assert all(r.completed for r in results)
+        assert error is not None, "laggard was never dropped"
+        assert "undelivered" in error
