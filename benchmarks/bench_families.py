@@ -1,0 +1,98 @@
+"""Cross-family rounds/bits series: the literature families
+(approximate consensus, Liang–Vaidya-slot per-bit consensus) against
+the paper's consensus and the flooding comparator, on comparable
+instances.
+
+Each cell runs one ``(family, backend)`` pair through the uniform
+``run_*`` surface with its correctness predicate enforced, so every
+reported number belongs to a *correct* execution.  The headline pins
+the communication story the lv-consensus family exists to tell: on the
+same ``width``-bit multi-valued instance its payload-bit total is a
+factor ``~n`` below flooding's all-to-all broadcast (one coordinator
+multicast per round instead of ``n``).
+
+Writes the ``BENCH_families.json`` trajectory artifact (schema
+validated by ``tests/test_bench_artifacts.py``)::
+
+    python benchmarks/bench_families.py               # -> BENCH_families.json
+    python benchmarks/bench_families.py --quick       # small grid, no artifact
+    python benchmarks/bench_families.py --out path.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import date
+from pathlib import Path
+
+from repro.bench.series import exp_families
+
+SCHEMA = "repro-bench-families/1"
+
+
+def run_grid(quick: bool) -> list[dict]:
+    shapes = [(20, 4)] if quick else [(40, 8), (80, 16)]
+    rows: list[dict] = []
+    for n, t in shapes:
+        for row in exp_families(n=n, t=t, seed=1):
+            rows.append(row)
+            print(
+                f"{row['family']:14s} n={n:3d} t={t:3d} {row['backend']:8s} "
+                f"rounds={row['rounds']:3d} messages={row['messages']:>9,} "
+                f"bits={row['bits']:>11,}",
+                flush=True,
+            )
+    return rows
+
+
+def headline(rows: list[dict]) -> dict:
+    top_n = max(r["n"] for r in rows)
+    at_top = {
+        r["family"]: r
+        for r in rows
+        if r["n"] == top_n and r["backend"] == "sim-opt"
+    }
+    flooding, lv = at_top["flooding"], at_top["lv-consensus"]
+    return {
+        "n": top_n,
+        "t": flooding["t"],
+        "flooding_bits": flooding["bits"],
+        "lv_consensus_bits": lv["bits"],
+        "bits_ratio_flooding_over_lv": round(flooding["bits"] / lv["bits"], 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_families.json",
+                        help="artifact path (default BENCH_families.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid; skip writing the artifact")
+    args = parser.parse_args(argv)
+
+    rows = run_grid(args.quick)
+    head = headline(rows)
+    print(
+        f"\nheadline: n={head['n']}: lv-consensus {head['lv_consensus_bits']:,} "
+        f"payload bits vs flooding {head['flooding_bits']:,} "
+        f"({head['bits_ratio_flooding_over_lv']:.1f}x fewer)"
+    )
+    if args.quick:
+        return 0
+    artifact = {
+        "schema": SCHEMA,
+        "generated": date.today().isoformat(),
+        "command": "python benchmarks/bench_families.py",
+        "python": sys.version.split()[0],
+        "headline": head,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,10 +33,12 @@ Layers:
 from repro.api import (
     run_aea,
     run_ab_consensus,
+    run_approximate,
     run_checkpointing,
     run_consensus,
     run_flooding,
     run_gossip,
+    run_lv_consensus,
     run_recipe,
     run_scv,
 )
@@ -44,6 +46,7 @@ from repro.core.params import ProtocolParams
 from repro.properties import (
     PropertyViolation,
     check_aea,
+    check_approximate,
     check_checkpointing,
     check_consensus,
     check_gossip,
@@ -63,6 +66,7 @@ __all__ = [
     "Trace",
     "__version__",
     "check_aea",
+    "check_approximate",
     "check_checkpointing",
     "check_consensus",
     "check_gossip",
@@ -70,10 +74,12 @@ __all__ = [
     "replay_trace",
     "run_aea",
     "run_ab_consensus",
+    "run_approximate",
     "run_checkpointing",
     "run_consensus",
     "run_flooding",
     "run_gossip",
+    "run_lv_consensus",
     "run_recipe",
     "run_scv",
     "scenario_schedule",

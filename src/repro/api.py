@@ -66,7 +66,12 @@ from repro.core.consensus import (
     ManyCrashesConsensusProcess,
     mcc_overlay,
 )
+from repro.baselines.approximate import (
+    ApproximateConsensusProcess,
+    approximate_phase_count,
+)
 from repro.baselines.flooding_consensus import FloodingConsensusProcess
+from repro.baselines.lv_consensus import LVConsensusProcess
 from repro.core.gossip import GossipProcess, gossip_overlay
 from repro.core.params import ProtocolParams
 from repro.core.scv import SCVProcess
@@ -82,10 +87,12 @@ __all__ = [
     "PreparedRun",
     "build_ab_consensus_processes",
     "build_aea_processes",
+    "build_approximate_processes",
     "build_checkpointing_processes",
     "build_consensus_processes",
     "build_flooding_processes",
     "build_gossip_processes",
+    "build_lv_consensus_processes",
     "build_recipe_processes",
     "build_scv_processes",
     "prepare_recipe",
@@ -93,10 +100,12 @@ __all__ = [
     "run_recipe",
     "run_aea",
     "run_ab_consensus",
+    "run_approximate",
     "run_checkpointing",
     "run_consensus",
     "run_flooding",
     "run_gossip",
+    "run_lv_consensus",
     "run_scv",
 ]
 
@@ -433,6 +442,70 @@ def build_flooding_processes(
     return processes, t + 1
 
 
+def build_approximate_processes(
+    inputs: Sequence[float],
+    t: int,
+    *,
+    eps: float = 1.0,
+    mode: str = "midpoint",
+) -> tuple[list[Process], int]:
+    """Approximate-consensus process vector; see
+    :func:`build_consensus_processes` for the contract.
+
+    Phase-based averaging toward ε-agreement
+    (:class:`~repro.baselines.approximate.ApproximateConsensusProcess`):
+    real-valued inputs, decisions within ``eps`` of each other and
+    inside the input range.  The schedule is ``t + 1 + phases`` rounds
+    with ``phases`` derived from the input spread and ``eps``
+    (:func:`~repro.baselines.approximate.approximate_phase_count`), so
+    the horizon -- like the recipe -- is a pure function of the
+    arguments.  Any ``t < n``.
+    """
+    n = len(inputs)
+    if not 0 <= t < n:
+        raise ValueError(
+            f"approximate consensus requires 0 <= t < n, got t={t}, n={n}"
+        )
+    phases = approximate_phase_count(inputs, eps)
+    processes: list[Process] = [
+        ApproximateConsensusProcess(
+            pid, n, t, inputs[pid], eps, phases, mode=mode
+        )
+        for pid in range(n)
+    ]
+    return processes, t + 1 + phases
+
+
+def build_lv_consensus_processes(
+    inputs: Sequence[int], t: int, *, width: Optional[int] = None
+) -> tuple[list[Process], int]:
+    """Liang–Vaidya-slot multi-valued consensus process vector; see
+    :func:`build_consensus_processes` for the contract.
+
+    Rotating-coordinator consensus on ``width``-bit values
+    (:class:`~repro.baselines.lv_consensus.LVConsensusProcess`),
+    measured in payload bits.  ``width`` defaults to the widest input
+    and every input must fit in it; any ``t < n``.
+    """
+    n = len(inputs)
+    if not 0 <= t < n:
+        raise ValueError(
+            f"lv-consensus requires 0 <= t < n, got t={t}, n={n}"
+        )
+    if width is None:
+        width = max(1, max(int(v).bit_length() for v in inputs))
+    oversized = [v for v in inputs if v < 0 or int(v).bit_length() > width]
+    if oversized:
+        raise ValueError(
+            f"inputs must be non-negative and fit in width={width} bits, "
+            f"got {oversized[:5]}"
+        )
+    processes: list[Process] = [
+        LVConsensusProcess(pid, n, t, inputs[pid], width) for pid in range(n)
+    ]
+    return processes, t + 1
+
+
 # -- entry points ------------------------------------------------------------
 
 
@@ -549,6 +622,102 @@ def run_flooding(
             "name": "flooding",
             "inputs": list(inputs),
             "t": t,
+        },
+    )
+
+
+def run_approximate(
+    inputs: Sequence[float],
+    t: int,
+    *,
+    eps: float = 1.0,
+    mode: str = "midpoint",
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
+    seed: int = 0,
+    max_rounds: int = 100_000,
+    fast_forward: bool = True,
+    optimized: bool = True,
+    backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
+) -> RunResult:
+    """Approximate consensus: averaging toward ε-agreement.
+
+    Real-valued inputs; decisions lie within ``eps`` of each other and
+    inside ``[min(inputs), max(inputs)]`` (checked by
+    :func:`repro.properties.check_approximate`).  ``mode`` selects the
+    averaging rule: ``"midpoint"`` (seen-range midpoint) or ``"mean"``
+    (arithmetic mean).  Any ``t < n``; no overlay graphs.
+    """
+    n = len(inputs)
+    processes, horizon = build_approximate_processes(
+        inputs, t, eps=eps, mode=mode
+    )
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        fast_forward=fast_forward,
+        optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        telemetry=telemetry,
+        protocol={
+            "name": "approximate",
+            "inputs": [float(v) for v in inputs],
+            "t": t,
+            "eps": float(eps),
+            "mode": mode,
+        },
+    )
+
+
+def run_lv_consensus(
+    inputs: Sequence[int],
+    t: int,
+    *,
+    width: Optional[int] = None,
+    crashes: Optional[str | CrashAdversary | Scenario] = "random",
+    seed: int = 0,
+    max_rounds: int = 100_000,
+    fast_forward: bool = True,
+    optimized: bool = True,
+    backend: str = "sim",
+    scenario: Optional[Scenario] = None,
+    record_trace: bool | str | os.PathLike = False,
+    replay: Optional[Any] = None,
+    telemetry: bool | str | os.PathLike | Any = False,
+) -> RunResult:
+    """Multi-valued consensus measured in payload bits (Liang–Vaidya
+    slot): rotating-coordinator broadcast of ``width``-bit values,
+    ``(t + 1) · (n - 1)`` messages total.  Any ``t < n``; no overlay
+    graphs.
+    """
+    n = len(inputs)
+    processes, horizon = build_lv_consensus_processes(inputs, t, width=width)
+    adversary, scenario = _resolve_faults(crashes, scenario, n, t, seed, horizon)
+    width_ = processes[0].width if processes else 1
+    return _execute(
+        processes,
+        adversary,
+        backend=backend,
+        max_rounds=max_rounds,
+        fast_forward=fast_forward,
+        optimized=optimized,
+        record_trace=record_trace,
+        replay=replay,
+        scenario=scenario,
+        telemetry=telemetry,
+        protocol={
+            "name": "lv_consensus",
+            "inputs": list(inputs),
+            "t": t,
+            "width": width_,
         },
     )
 
@@ -811,6 +980,19 @@ def build_recipe_processes(
             recipe["inputs"], recipe["t"]
         )
         return processes, horizon, frozenset()
+    if name == "approximate":
+        processes, horizon = build_approximate_processes(
+            recipe["inputs"],
+            recipe["t"],
+            eps=recipe.get("eps", 1.0),
+            mode=recipe.get("mode", "midpoint"),
+        )
+        return processes, horizon, frozenset()
+    if name == "lv_consensus":
+        processes, horizon = build_lv_consensus_processes(
+            recipe["inputs"], recipe["t"], width=recipe.get("width")
+        )
+        return processes, horizon, frozenset()
     if name == "aea":
         processes, horizon = build_aea_processes(
             recipe["inputs"], recipe["t"], overlay_seed=overlay_seed
@@ -971,6 +1153,18 @@ def run_recipe(protocol: dict, **execution) -> RunResult:
         )
     if name == "flooding":
         return run_flooding(recipe["inputs"], recipe["t"], **execution)
+    if name == "approximate":
+        return run_approximate(
+            recipe["inputs"],
+            recipe["t"],
+            eps=recipe.get("eps", 1.0),
+            mode=recipe.get("mode", "midpoint"),
+            **execution,
+        )
+    if name == "lv_consensus":
+        return run_lv_consensus(
+            recipe["inputs"], recipe["t"], width=recipe.get("width"), **execution
+        )
     if name == "aea":
         return run_aea(
             recipe["inputs"], recipe["t"], overlay_seed=overlay_seed, **execution
@@ -1067,6 +1261,8 @@ _EXECUTION_DOC = """
 for _entry_point in (
     run_consensus,
     run_flooding,
+    run_approximate,
+    run_lv_consensus,
     run_aea,
     run_scv,
     run_gossip,

@@ -2,18 +2,26 @@
 experiments): time-optimal but message-heavy solutions that the paper's
 algorithms beat on communication."""
 
+from repro.baselines.approximate import (
+    ApproximateConsensusProcess,
+    approximate_phase_count,
+)
 from repro.baselines.ds_everywhere import DSEverywhereProcess
 from repro.baselines.early_stopping import EarlyStoppingConsensusProcess
 from repro.baselines.flooding_consensus import FloodingConsensusProcess
+from repro.baselines.lv_consensus import LVConsensusProcess
 from repro.baselines.naive_checkpointing import NaiveCheckpointingProcess
 from repro.baselines.naive_gossip import NaiveGossipProcess
 from repro.baselines.ring_gossip import RingGossipProcess
 
 __all__ = [
+    "ApproximateConsensusProcess",
     "DSEverywhereProcess",
     "EarlyStoppingConsensusProcess",
     "FloodingConsensusProcess",
+    "LVConsensusProcess",
     "NaiveCheckpointingProcess",
     "NaiveGossipProcess",
     "RingGossipProcess",
+    "approximate_phase_count",
 ]

@@ -69,6 +69,10 @@ EXPERIMENTS = {
     "e12": (series.singleport_spec, "Theorem 12: single-port Linear-Consensus"),
     "e13": (series.lowerbounds_spec, "Theorem 13: lower bounds"),
     "baselines": (series.baselines_spec, "Cross-comparison vs classical baselines"),
+    "families": (
+        series.families_spec,
+        "Literature families (approximate, lv-consensus) vs the paper's: rounds/bits",
+    ),
     "net": (series.net_spec, "Simulator vs. asyncio net runtime (parity + cost)"),
     "scenarios": (
         series.scenarios_spec,

@@ -27,15 +27,19 @@ from typing import Optional
 
 from repro import (
     check_aea,
+    check_approximate,
     check_checkpointing,
     check_consensus,
     check_gossip,
     check_scv,
     run_aea,
     run_ab_consensus,
+    run_approximate,
     run_checkpointing,
     run_consensus,
+    run_flooding,
     run_gossip,
+    run_lv_consensus,
     run_scv,
 )
 from repro.baselines import (
@@ -44,7 +48,7 @@ from repro.baselines import (
     NaiveGossipProcess,
 )
 from repro.baselines.ring_gossip import RingGossipProcess
-from repro.bench.sweep import SweepSpec, run_sweep
+from repro.bench.sweep import SweepSpec, derive_seed, run_sweep
 from repro.bench.workloads import byzantine_sample, input_vector, rumor_vector, table1_fault_bound
 from repro.check.driver import build_fuzz_spec
 from repro.check.oracles import check_parity
@@ -60,6 +64,7 @@ from repro.sim.singleport import SinglePortEngine
 __all__ = [
     "exp_adversary",
     "exp_baselines",
+    "exp_families",
     "exp_fuzz",
     "exp_e5_aea",
     "exp_e6_scv",
@@ -641,6 +646,88 @@ def baselines_spec(n: int = 240, seed: int = 1) -> SweepSpec:
 
 def exp_baselines(n: int = 240, seed: int = 1, jobs: int = 1) -> list[dict]:
     return run_sweep(baselines_spec(n, seed), jobs=jobs).rows()
+
+
+# -- Literature families vs the paper's algorithms ---------------------------
+
+
+def families_unit(params: dict) -> dict:
+    """One cross-family cell: one ``(family, backend)`` run on a
+    comparable instance, reported in the ``BENCH_families.json`` row
+    shape (``tests/test_bench_artifacts.py``'s ``ROW_FIELDS``).
+
+    Instances are derived from the unit seed, so the protocol-metric
+    columns (``rounds``/``messages``/``bits``/``completed``) are
+    deterministic and must agree across backends; ``msgs_per_sec`` /
+    ``elapsed_sec`` are wall-clock measurements and jitter like the
+    ``net`` series' timing columns (excluded from the byte-identical
+    contract).  Every run is validated by its family's correctness
+    predicate before its numbers are reported.
+    """
+    import random as _random
+    import time as _time
+
+    family, n, t = params["family"], params["n"], params["t"]
+    seed, backend = params["seed"], params["backend"]
+    width = params.get("width", 128)
+    rng = _random.Random(derive_seed(seed, ("families", family, n, t)))
+    kw = dict(
+        crashes=None, backend="sim", optimized=(backend != "sim-ref")
+    )
+    start = _time.perf_counter()
+    if family == "consensus":
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        result = run_consensus(inputs, t, **kw)
+        check_consensus(result, inputs)
+    elif family == "flooding":
+        inputs = [rng.randrange(0, 2**width) for _ in range(n)]
+        result = run_flooding(inputs, t, **kw)
+        check_consensus(result, inputs)
+    elif family == "approximate":
+        inputs = [round(rng.uniform(0.0, 100.0), 4) for _ in range(n)]
+        eps = params.get("eps", 0.5)
+        result = run_approximate(inputs, t, eps=eps, **kw)
+        check_approximate(result, inputs, eps)
+    elif family == "lv-consensus":
+        inputs = [rng.randrange(0, 2**width) for _ in range(n)]
+        result = run_lv_consensus(inputs, t, width=width, **kw)
+        check_consensus(result, inputs)
+    else:
+        raise ValueError(f"unknown bench family {family!r}")
+    elapsed = _time.perf_counter() - start
+    return {
+        "family": family,
+        "n": n,
+        "t": t,
+        "backend": backend,
+        "msgs_per_sec": int(result.messages / max(elapsed, 1e-9)),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "bits": result.bits,
+        "elapsed_sec": round(elapsed, 4),
+        "completed": result.completed,
+    }
+
+
+def families_spec(n: int = 40, t: int = 8, seed: int = 1) -> SweepSpec:
+    return SweepSpec(
+        name="families",
+        runner=families_unit,
+        grid={
+            "family": ["consensus", "flooding", "approximate", "lv-consensus"],
+            "n": [n],
+            "t": [t],
+            "seed": [seed],
+            "backend": ["sim-opt", "sim-ref"],
+        },
+        base_seed=seed,
+    )
+
+
+def exp_families(
+    n: int = 40, t: int = 8, seed: int = 1, jobs: int = 1
+) -> list[dict]:
+    return run_sweep(families_spec(n, t, seed), jobs=jobs).rows()
 
 
 # -- Simulator vs. net runtime ----------------------------------------------------------

@@ -62,6 +62,12 @@ FAMILIES = (
     "checkpointing",
     "ab-consensus",
     "flooding",
+    # Appended after the original eight: sample_config keys family
+    # choice on ``index % len(FAMILIES)``, but the digest pins in
+    # tests/test_search.py address families by *name*, so appending
+    # keeps every existing pin valid.
+    "approximate",
+    "lv-consensus",
 )
 
 #: Default replay backends for differential comparison; ``tcp`` joins
@@ -168,6 +174,24 @@ def sample_instance(
         n_, t_ = shape(20, 57, lambda size: max(2, size // 4))
         inputs = [rng.randrange(0, 2**16) for _ in range(n_)]
         return {"name": "flooding", "inputs": inputs, "t": t_}
+    if family == "approximate":
+        n_, t_ = shape(16, 44, lambda size: max(2, size // 3))
+        # Four-decimal floats survive the JSON round-trip of traces and
+        # shrink artifacts exactly (repr-based float serialisation).
+        inputs = [round(rng.uniform(0.0, 100.0), 4) for _ in range(n_)]
+        return {
+            "name": "approximate",
+            "inputs": inputs,
+            "t": t_,
+            "eps": rng.choice((0.5, 1.0, 2.0, 4.0)),
+            "mode": rng.choice(("midpoint", "mean")),
+        }
+    if family == "lv-consensus":
+        n_, t_ = shape(16, 48, lambda size: max(2, size // 3))
+        width = rng.choice((16, 64, 256))
+        inputs = [rng.randrange(0, 2**width) for _ in range(n_)]
+        return {"name": "lv_consensus", "inputs": inputs, "t": t_,
+                "width": width}
     raise ValueError(f"unknown family {family!r}")
 
 
@@ -193,6 +217,13 @@ def _fault_horizon(family: str, params: ProtocolParams) -> int:
     if family == "ab-consensus":
         return 8
     if family == "flooding":
+        return params.t + 1
+    if family == "approximate":
+        # t + 1 + phases rounds; phases depends on inputs/eps (not in
+        # params), so use the widest sampled schedule (eps=0.5 over a
+        # 100-wide input range gives ceil(log2(200)) = 8 phases).
+        return params.t + 9
+    if family == "lv-consensus":
         return params.t + 1
     raise ValueError(f"unknown family {family!r}")
 

@@ -38,9 +38,11 @@ import math
 from typing import Any, Callable, Optional
 
 from repro.core.params import ProtocolParams
+from repro.baselines.approximate import approximate_phase_count
 from repro.properties import (
     PropertyViolation,
     check_aea,
+    check_approximate,
     check_checkpointing,
     check_consensus,
     check_gossip,
@@ -104,8 +106,10 @@ def check_parity(a, b, a_label: str = "a", b_label: str = "b") -> None:
 
 def _safety_check(recipe: dict, result) -> None:
     name = recipe.get("name")
-    if name in ("consensus", "ab_consensus", "flooding"):
+    if name in ("consensus", "ab_consensus", "flooding", "lv_consensus"):
         check_consensus(result, recipe["inputs"])
+    elif name == "approximate":
+        check_approximate(result, recipe["inputs"], recipe["eps"])
     elif name == "aea":
         check_aea(result, recipe["inputs"])
     elif name == "scv":
@@ -226,6 +230,8 @@ BOUND_CONSTANTS: dict[str, tuple[str, float]] = {
     "checkpointing": ("messages", 6.0),
     "ab-consensus": ("messages", 150.0),
     "flooding": ("messages", 2.0),
+    "approximate": ("bits", 2.0),
+    "lv-consensus": ("bits", 2.0),
 }
 
 #: Slack added to the failure-free round count: the paper's running
@@ -239,9 +245,16 @@ def _log2(x: float) -> float:
     return math.log2(max(2.0, x))
 
 
-def _comm_envelope(family: str, params: ProtocolParams) -> float:
+def _comm_envelope(
+    family: str, params: ProtocolParams, recipe: Optional[dict] = None
+) -> float:
     """The Table 1 communication envelope for one instance, with the
-    practical overlay constants (committee probing + linear part)."""
+    practical overlay constants (committee probing + linear part).
+
+    The literature families added next to Table 1 carry their envelope
+    parameters (``eps``, ``width``) in the recipe rather than in
+    :class:`ProtocolParams`, so ``recipe`` is threaded through for them.
+    """
     n, t = params.n, params.t
     probing = (
         params.little_count
@@ -277,6 +290,15 @@ def _comm_envelope(family: str, params: ProtocolParams) -> float:
     if family == "flooding":
         # Every operational node multicasts to everyone for t + 1 rounds.
         return float(n * n * (t + 1))
+    if family == "approximate":
+        # Every node multicasts one 64-bit float estimate to everyone
+        # for the full t + 1 + phases schedule.
+        phases = approximate_phase_count(recipe["inputs"], recipe["eps"])
+        return 64.0 * n * (n - 1) * (t + 1 + phases)
+    if family == "lv-consensus":
+        # One width-bit coordinator multicast per round: linear in n,
+        # the per-bit budget this family exists to pin.
+        return float((t + 1) * (n - 1) * recipe["width"])
     raise ValueError(f"no communication envelope for family {family!r}")
 
 
@@ -308,7 +330,7 @@ def bound_certificate(
     params = ProtocolParams(n=n, t=t, seed=recipe.get("overlay_seed", 0))
     measure, constant = BOUND_CONSTANTS[family]
     observed = result.bits if measure == "bits" else result.messages
-    envelope = _comm_envelope(family, params)
+    envelope = _comm_envelope(family, params, recipe)
     comm_bound = constant * envelope
     clean_rounds = (clean or result).rounds
     round_bound = clean_rounds + t + ROUND_SLACK

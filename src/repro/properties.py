@@ -15,6 +15,7 @@ from typing import Any, Iterable, Optional, Sequence
 __all__ = [
     "PropertyViolation",
     "check_aea",
+    "check_approximate",
     "check_checkpointing",
     "check_consensus",
     "check_gossip",
@@ -59,6 +60,42 @@ def check_consensus(result, inputs: Sequence[int]) -> None:
             raise PropertyViolation(
                 f"validity violated: decision {value!r} is nobody's input"
             )
+
+
+def check_approximate(result, inputs: Sequence[float], eps: float) -> None:
+    """ε-agreement + range validity + termination for approximate
+    consensus.
+
+    * termination: every non-faulty node decided (and the run completed);
+    * ε-agreement: the decided values span at most ``eps``;
+    * validity: every decision lies in ``[min(inputs), max(inputs)]``
+      (estimates are averages of initial values, so the input range is
+      an invariant).
+    """
+    if not result.completed:
+        raise PropertyViolation("execution did not complete (max_rounds hit)")
+    decisions = _correct_decisions(result)
+    correct = _correct_pids(result)
+    undecided = sorted(set(correct) - set(decisions))
+    if undecided:
+        raise PropertyViolation(
+            f"termination violated: undecided nodes {undecided[:10]}"
+        )
+    values = list(decisions.values())
+    if not values:
+        return
+    spread = max(values) - min(values)
+    if spread > eps:
+        raise PropertyViolation(
+            f"eps-agreement violated: decisions span {spread!r} > eps={eps!r}"
+        )
+    lo, hi = min(inputs), max(inputs)
+    out = {pid: v for pid, v in decisions.items() if not lo <= v <= hi}
+    if out:
+        raise PropertyViolation(
+            f"validity violated: decisions outside input range "
+            f"[{lo!r}, {hi!r}]: {dict(list(out.items())[:5])}"
+        )
 
 
 def check_aea(result, inputs: Sequence[int], kappa: float = 3 / 5) -> None:

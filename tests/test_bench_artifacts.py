@@ -94,6 +94,7 @@ def test_trajectory_artifacts_exist():
     assert "BENCH_adversary.json" in names
     assert "BENCH_net.json" in names
     assert "BENCH_serve.json" in names
+    assert "BENCH_families.json" in names
 
 
 @pytest.mark.parametrize(
@@ -177,6 +178,51 @@ def test_engine_headline_meets_speedup_floor():
     }
     assert rows["sim-opt"]["msgs_per_sec"] == head["sim_opt_msgs_per_sec"]
     assert rows["sim-ref"]["msgs_per_sec"] == head["sim_ref_msgs_per_sec"]
+
+
+FAMILIES_BENCH_FAMILIES = {
+    "consensus", "flooding", "approximate", "lv-consensus",
+}
+
+
+def test_families_artifact_covers_the_cross_family_grid():
+    """``BENCH_families.json`` carries every family of the cross-family
+    rounds/bits series, on both engine backends, all runs completed
+    (each row is correctness-checked by the producer before timing)."""
+    data = json.loads((REPO_ROOT / "BENCH_families.json").read_text())
+    assert data["schema"] == "repro-bench-families/1"
+    seen = {
+        (row["family"], row["backend"], row["n"]) for row in data["rows"]
+    }
+    families = {family for family, _, _ in seen}
+    assert families == FAMILIES_BENCH_FAMILIES
+    for family in FAMILIES_BENCH_FAMILIES:
+        backends = {b for f, b, _ in seen if f == family}
+        assert backends == {"sim-opt", "sim-ref"}, (
+            f"{family}: missing an engine backend"
+        )
+    assert all(row["completed"] for row in data["rows"])
+
+
+def test_families_headline_meets_bits_floor():
+    """The acceptance floor: on the same width-bit instance at the
+    largest measured n, lv-consensus spends >= 5x fewer payload bits
+    than flooding (measured ~78x; one coordinator multicast per round
+    vs all-to-all), and the headline is derivable from the rows."""
+    data = json.loads((REPO_ROOT / "BENCH_families.json").read_text())
+    head = data["headline"]
+    assert head["bits_ratio_flooding_over_lv"] >= 5.0
+    rows = {
+        row["family"]: row
+        for row in data["rows"]
+        if row["n"] == head["n"] and row["backend"] == "sim-opt"
+    }
+    assert head["n"] == max(row["n"] for row in data["rows"])
+    assert rows["flooding"]["bits"] == head["flooding_bits"]
+    assert rows["lv-consensus"]["bits"] == head["lv_consensus_bits"]
+    assert head["bits_ratio_flooding_over_lv"] == pytest.approx(
+        head["flooding_bits"] / head["lv_consensus_bits"], rel=0.01
+    )
 
 
 def test_engine_artifact_records_telemetry_overhead():

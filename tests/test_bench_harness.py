@@ -91,6 +91,7 @@ class TestSeries:
             "e12",
             "e13",
             "baselines",
+            "families",
             "net",
             "scenarios",
             "fuzz",

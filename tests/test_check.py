@@ -280,6 +280,154 @@ class TestInjectedFaultEndToEnd:
         assert set(replayed.correct_decisions().values()) == {0, 1}
 
 
+def _crafted_misconverging_approximate_config() -> FuzzConfig:
+    """An approximate-consensus instance with two noise events; the
+    injected bug (a node that refuses to converge) violates
+    ε-agreement regardless of the scenario, so the shrinker should
+    strip the events away entirely."""
+    n, t = 20, 3
+    inputs = [float(5 * (i % 7)) for i in range(n)]
+    recipe = {
+        "name": "approximate", "inputs": inputs, "t": t,
+        "eps": 0.5, "mode": "midpoint",
+    }
+    scenario = Scenario(
+        n=n,
+        name="crafted-misconverging-approx",
+        crashes=[CrashEvent(7, 2, 1)],            # noise
+        omissions=[OmissionSpec(3, 11, (1, 2))],  # noise
+    )
+    return FuzzConfig(
+        index=0,
+        seed=0,
+        family="approximate",
+        recipe=recipe,
+        scenario=scenario,
+        kind="crafted",
+        max_rounds=4096,
+        backends=(),
+        include_safety=True,  # the omission noise leaves the model
+    )
+
+
+def _crafted_overspending_lv_config() -> FuzzConfig:
+    """An lv-consensus instance with crash-only noise (so the run stays
+    in-model and the payload-bits certificate arms); the injected bug
+    multiplies the bit spend by ``n``, breaching the envelope under any
+    scenario."""
+    n, t = 20, 3
+    # Genuinely 64-bit-wide values: payload_bits is value-dependent, so
+    # narrow inputs would leave the n-fold spam under the width-based
+    # envelope.
+    inputs = [2**63 + 37 * i for i in range(n)]
+    recipe = {"name": "lv_consensus", "inputs": inputs, "t": t, "width": 64}
+    scenario = Scenario(
+        n=n,
+        name="crafted-overspending-lv",
+        crashes=[CrashEvent(9, 1, 1), CrashEvent(11, 2, None)],  # noise
+    )
+    return FuzzConfig(
+        index=0,
+        seed=0,
+        family="lv-consensus",
+        recipe=recipe,
+        scenario=scenario,
+        kind="crafted",
+        max_rounds=4096,
+        backends=(),
+    )
+
+
+class TestBrokenImplementationCanaries:
+    """Deliberately broken family implementations must be caught by the
+    family-specific oracles -- ε-agreement for approximate, the
+    payload-bits envelope certificate for lv-consensus -- and shrink to
+    replayable artifacts, end to end."""
+
+    def test_misconverging_approximate_node_caught(self, tmp_path, monkeypatch):
+        from repro import check_approximate
+        from repro.baselines.approximate import ApproximateConsensusProcess
+
+        orig = ApproximateConsensusProcess.receive
+
+        def skewed(self, rnd, inbox):
+            if self.pid == 0:
+                self.value += 100.0  # refuses to converge (the bug)
+            orig(self, rnd, inbox)
+
+        monkeypatch.setattr(ApproximateConsensusProcess, "receive", skewed)
+        config = _crafted_misconverging_approximate_config()
+        row = run_config(config)
+        details = row.get("violation_details", [])
+        assert "safety" in oracle_categories(details)
+        assert any(
+            "eps-agreement" in v["detail"] or "validity" in v["detail"]
+            for v in details
+            if v["oracle"] == "safety"
+        )
+
+        shrunk = shrink_scenario(config, details, max_runs=120)
+        # The bug needs no faults at all: both noise events are stripped.
+        assert shrunk.minimal.crashes == ()
+        assert shrunk.minimal.omissions == ()
+        assert "safety" in oracle_categories(shrunk.violations)
+
+        path = emit_artifact(config, shrunk, tmp_path, label="approx-canary")
+        replayed = replay_trace(path)
+        with pytest.raises(PropertyViolation):
+            check_approximate(
+                replayed, config.recipe["inputs"], config.recipe["eps"]
+            )
+
+    def test_overspending_lv_node_caught(self, tmp_path, monkeypatch):
+        from repro.baselines.lv_consensus import LVConsensusProcess
+        from repro.sim.process import Multicast
+
+        orig_receive = LVConsensusProcess.receive
+
+        def spammy_send(self, rnd):
+            # The bug: every node re-broadcasts every round, inflating
+            # the bit spend by a factor n over the coordinator schedule.
+            if rnd >= self.rounds or not self._everyone:
+                return ()
+            return [Multicast(self._everyone, self.value)]
+
+        def coordinator_only_receive(self, rnd, inbox):
+            # Keep the decision logic correct (only coordinator messages
+            # are honored) so the breach is purely a bits overspend.
+            orig_receive(self, rnd, [(s, p) for s, p in inbox if s == rnd])
+
+        monkeypatch.setattr(LVConsensusProcess, "send", spammy_send)
+        monkeypatch.setattr(
+            LVConsensusProcess, "receive", coordinator_only_receive
+        )
+        config = _crafted_overspending_lv_config()
+        row = run_config(config)
+        details = row.get("violation_details", [])
+        assert "bounds" in oracle_categories(details)
+        bounds = next(v for v in details if v["oracle"] == "bounds")
+        assert "'comm_measure': 'bits'" in bounds["detail"]
+        assert "'comm_ok': False" in bounds["detail"]
+
+        shrunk = shrink_scenario(config, details, max_runs=120)
+        assert shrunk.minimal.crashes == ()  # noise stripped
+        assert "bounds" in oracle_categories(shrunk.violations)
+
+        path = emit_artifact(config, shrunk, tmp_path, label="lv-canary")
+        replayed = replay_trace(path)
+        cert = bound_certificate("lv-consensus", config.recipe, replayed)
+        assert not cert["comm_ok"]
+        assert cert["comm_measure"] == "bits"
+
+    def test_unbroken_families_run_canary_configs_clean(self):
+        for config in (
+            _crafted_misconverging_approximate_config(),
+            _crafted_overspending_lv_config(),
+        ):
+            row = run_config(config)
+            assert row["violations"] == 0, row.get("violation_details")
+
+
 class TestShrinkCandidates:
     def test_candidates_are_valid_and_strictly_smaller(self):
         scenario = Scenario(
@@ -306,6 +454,15 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "2 configurations" in out
         assert "0 violating" in out
+
+    def test_budget_50_runs_clean_across_all_families(self, capsys):
+        # The acceptance bar: a 50-config budget rotates through every
+        # family (10 families x 5 configs) without a single violation.
+        assert check_main(["--seed", "0", "--budget", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violating" in out
+        for family in FAMILIES:
+            assert f"{family}=5" in out
 
     def test_only_selects_indices(self, capsys):
         assert check_main(["--seed", "0", "--only", "3", "--budget", "9"]) == 0

@@ -80,6 +80,12 @@ SAMPLE_CONFIG_DIGESTS = {
     "checkpointing/2": "f48e6e91369658eb",
     "ab-consensus/2": "9dbbb200276f4800",
     "flooding/2": "cf575a4e606566c2",
+    "approximate/0": "500f5ca1721a8cb8",
+    "lv-consensus/0": "c163de8fae66c01e",
+    "approximate/1": "c38e8cb8a5dbe1e5",
+    "lv-consensus/1": "0e33739e52074315",
+    "approximate/2": "e9df1928405b95b5",
+    "lv-consensus/2": "fc85eabae51fa8dd",
 }
 
 
